@@ -1,0 +1,54 @@
+"""Ablation: alternative street-interest aggregates.
+
+Definition 3 uses the *maximum* segment interest; the paper notes other
+definitions exist.  This bench ranks Berlin's shopping streets under each
+aggregate (max / mean / length-weighted / total-density) and reports both
+cost and how much the rankings diverge from Definition 3 — quantifying
+how much the "simple definition" actually matters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.aggregates import StreetAggregate
+from repro.core.soi_baseline import BaselineSOI
+from repro.eval.experiments import engine_for
+from repro.eval.metrics import recall_at_k
+from repro.eval.reporting import format_table
+from repro.eval.timing import best_of
+
+
+@pytest.mark.parametrize("aggregate", list(StreetAggregate))
+def test_ablation_aggregate(benchmark, berlin, aggregate):
+    baseline = BaselineSOI(engine_for(berlin))
+    benchmark.pedantic(
+        lambda: baseline.top_k(["shop"], k=10, eps=0.0005,
+                               aggregate=aggregate),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_ablation_aggregate_summary(benchmark, berlin):
+    baseline = BaselineSOI(engine_for(berlin))
+    benchmark.pedantic(
+        lambda: baseline.top_k(["shop"], k=10, eps=0.0005),
+        rounds=1, iterations=1)
+
+    reference = [r.street_id for r in baseline.top_k(
+        ["shop"], k=10, eps=0.0005, aggregate=StreetAggregate.MAX)]
+    truth = berlin.ground_truth["shop"][:5]
+    rows = []
+    for aggregate in StreetAggregate:
+        results, seconds = best_of(
+            lambda a=aggregate: baseline.top_k(["shop"], k=10, eps=0.0005,
+                                               aggregate=a), repeats=2)
+        ranked = [r.street_id for r in results]
+        overlap = len(set(ranked) & set(reference)) / 10
+        recall = recall_at_k(ranked, truth, 10)
+        rows.append([aggregate.value, f"{seconds * 1000:.1f}",
+                     f"{overlap:.2f}", f"{recall:.2f}"])
+    emit("ablation_aggregates", format_table(
+        ["aggregate", "time (ms)", "top-10 overlap w/ MAX",
+         "recall vs planted truth"], rows,
+        title="Street-interest aggregate ablation (Berlin, shop, k=10)"))

@@ -1,0 +1,73 @@
+"""Ablations on the describe stage.
+
+* **rho sweep** — the neighbourhood radius of Definition 4 sets the photo
+  grid's cell side (rho/2): smaller rho means more, tighter cells (better
+  pruning, more bound bookkeeping);
+* **weighted POI queries** — the Definition 1 extension, timed against
+  unweighted mass on the SOI side (it shares this file for convenience
+  since it is an extension ablation, not a paper figure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.describe.profile import build_street_profile
+from repro.core.describe.st_rel_div import STRelDivDescriber
+from repro.eval.experiments import engine_for, top_soi_profile
+from repro.eval.reporting import format_table
+from repro.eval.timing import best_of
+
+RHOS = (0.00005, 0.0001, 0.0002, 0.0004)
+
+
+@pytest.mark.parametrize("rho", RHOS)
+def test_ablation_rho(benchmark, london, rho):
+    top = engine_for(london).top_k(["shop"], k=1, eps=0.0005)[0]
+    profile = build_street_profile(london.network, top.street_id,
+                                   london.photos, eps=0.0005, rho=rho)
+    describer = STRelDivDescriber(profile)
+    benchmark.pedantic(lambda: describer.select(20, 0.5, 0.5),
+                       rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_ablation_rho_summary(benchmark, london):
+    top = engine_for(london).top_k(["shop"], k=1, eps=0.0005)[0]
+    benchmark.pedantic(
+        lambda: build_street_profile(london.network, top.street_id,
+                                     london.photos, eps=0.0005),
+        rounds=1, iterations=1)
+    rows = []
+    for rho in RHOS:
+        profile = build_street_profile(london.network, top.street_id,
+                                       london.photos, eps=0.0005, rho=rho)
+        describer = STRelDivDescriber(profile)
+        (_sel, stats), seconds = best_of(
+            lambda d=describer: d.select_with_stats(20, 0.5, 0.5),
+            repeats=2)
+        rows.append([rho, describer.index.num_occupied_cells,
+                     f"{seconds * 1000:.1f}", stats.photos_examined])
+    emit("ablation_describe_rho", format_table(
+        ["rho", "occupied cells", "time (ms)", "photos examined"], rows,
+        title="ST_Rel+Div rho sweep (London top SOI, k=20)"))
+
+
+def test_ablation_weighted_mass(benchmark, london):
+    """The weighted-POI extension costs about the same as counting."""
+    engine = engine_for(london)
+    benchmark.pedantic(
+        lambda: engine.top_k(["shop"], k=50, eps=0.0005, weighted=True),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    _res, unweighted = best_of(
+        lambda: engine.top_k(["shop"], k=50, eps=0.0005), repeats=3)
+    _res, weighted = best_of(
+        lambda: engine.top_k(["shop"], k=50, eps=0.0005, weighted=True),
+        repeats=3)
+    emit("ablation_weighted", format_table(
+        ["variant", "time (ms)"],
+        [["unweighted", f"{unweighted * 1000:.1f}"],
+         ["weighted", f"{weighted * 1000:.1f}"]],
+        title="Weighted-POI mass extension (London, shop, k=50)"))
+    assert weighted < 10 * unweighted

@@ -1,0 +1,44 @@
+"""Table 1 — dataset statistics.
+
+Paper: number of segments, min/max segment length (metres), number of
+POIs for London / Berlin / Vienna.  Here the datasets are the synthetic
+presets (DESIGN.md, "Data substitution"); lengths are reported both in
+native degrees and in approximate metres (1 degree ~ 111 km) to ease
+comparison with the paper's metre-denominated Table 1.
+
+The timed quantity is full dataset generation (network + POIs + photos).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import CITY_NAMES, emit
+from repro.datagen.city import generate_city
+from repro.datagen.presets import preset_spec
+from repro.eval.experiments import dataset_stats
+from repro.eval.reporting import format_table
+
+DEGREE_METERS = 111_000.0
+
+
+def test_table1_dataset_statistics(benchmark, all_cities):
+    spec = preset_spec("vienna")
+    benchmark.pedantic(generate_city, args=(spec,), rounds=1, iterations=1)
+
+    rows = []
+    for name in CITY_NAMES:
+        stats = dataset_stats(all_cities[name])
+        rows.append([
+            name.capitalize(),
+            stats["num_segments"],
+            f"{stats['min_segment_length'] * DEGREE_METERS:.2f}",
+            f"{stats['max_segment_length'] * DEGREE_METERS:.2f}",
+            stats["num_pois"],
+            len(all_cities[name].photos),
+            len(all_cities[name].network.streets),
+        ])
+    emit("table1", format_table(
+        ["Dataset", "Num of segm.", "Min segm. len (m)",
+         "Max segm. len (m)", "Num of POIs", "Num of photos", "Streets"],
+        rows,
+        title="Table 1: datasets used in the evaluation (synthetic presets)"))
+    assert rows[0][1] > rows[1][1] > rows[2][1]  # London > Berlin > Vienna

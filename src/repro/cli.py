@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday workflow without writing Python:
+
+* ``repro generate`` — build a synthetic city preset and save it as the
+  three JSON files the loaders understand;
+* ``repro stats``    — print Table-1-style statistics for a saved city;
+* ``repro soi``      — answer a k-SOI query over a saved city;
+* ``repro describe`` — photo-summarise a street of a saved city.
+
+Run as ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.describe.profile import DEFAULT_RHO, build_street_profile
+from repro.core.describe.st_rel_div import STRelDivDescriber
+from repro.core.soi import DEFAULT_EPS, SOIEngine
+from repro.datagen.presets import CITY_PRESETS, build_preset
+from repro.eval.reporting import format_table
+from repro.network.io import (
+    load_network_json,
+    load_photos_json,
+    load_pois_json,
+    save_network_json,
+    save_photos_json,
+    save_pois_json,
+)
+
+NETWORK_FILE = "network.json"
+POIS_FILE = "pois.json"
+PHOTOS_FILE = "photos.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streets of Interest: identify and describe "
+                    "(EDBT 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate",
+                         help="generate a synthetic city preset")
+    gen.add_argument("--preset", choices=sorted(CITY_PRESETS),
+                     default="vienna")
+    gen.add_argument("--scale", type=float, default=1.0,
+                     help="size multiplier (default 1.0)")
+    gen.add_argument("--out", type=Path, required=True,
+                     help="output directory (created if missing)")
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table 1)")
+    stats.add_argument("--data", type=Path, required=True,
+                       help="directory written by 'repro generate'")
+
+    soi = sub.add_parser("soi", help="answer a k-SOI query")
+    soi.add_argument("--data", type=Path, required=True)
+    soi.add_argument("--keywords", nargs="+", required=True)
+    soi.add_argument("-k", type=int, default=10)
+    soi.add_argument("--eps", type=float, default=DEFAULT_EPS)
+
+    describe = sub.add_parser("describe",
+                              help="photo-summarise a street")
+    describe.add_argument("--data", type=Path, required=True)
+    describe.add_argument("--street", type=int, default=None,
+                          help="street id (default: top SOI for --keywords)")
+    describe.add_argument("--keywords", nargs="+", default=["shop"])
+    describe.add_argument("-k", type=int, default=3)
+    describe.add_argument("--eps", type=float, default=DEFAULT_EPS)
+    describe.add_argument("--rho", type=float, default=DEFAULT_RHO)
+    describe.add_argument("--lam", type=float, default=0.5,
+                          help="relevance/diversity trade-off (Equation 2)")
+    describe.add_argument("-w", type=float, default=0.5,
+                          help="spatial/textual weight")
+    return parser
+
+
+def _load_city(data_dir: Path):
+    network = load_network_json(data_dir / NETWORK_FILE)
+    pois = load_pois_json(data_dir / POIS_FILE)
+    photos = load_photos_json(data_dir / PHOTOS_FILE)
+    return network, pois, photos
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    city = build_preset(args.preset, args.scale)
+    args.out.mkdir(parents=True, exist_ok=True)
+    save_network_json(city.network, args.out / NETWORK_FILE)
+    save_pois_json(city.pois, args.out / POIS_FILE)
+    save_photos_json(city.photos, args.out / PHOTOS_FILE)
+    print(f"wrote {args.preset} (scale {args.scale}) to {args.out}: "
+          f"{len(city.network.segments)} segments, {len(city.pois)} POIs, "
+          f"{len(city.photos)} photos")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    network, pois, photos = _load_city(args.data)
+    stats = network.stats()
+    print(format_table(
+        ["metric", "value"],
+        [["segments", int(stats["num_segments"])],
+         ["streets", int(stats["num_streets"])],
+         ["vertices", int(stats["num_vertices"])],
+         ["min segment length", f"{stats['min_segment_length']:.6f}"],
+         ["max segment length", f"{stats['max_segment_length']:.6f}"],
+         ["total length", f"{stats['total_length']:.4f}"],
+         ["POIs", len(pois)],
+         ["photos", len(photos)]],
+        title=f"dataset at {args.data}"))
+    return 0
+
+
+def _cmd_soi(args: argparse.Namespace) -> int:
+    network, pois, _photos = _load_city(args.data)
+    engine = SOIEngine(network, pois)
+    results = engine.top_k(args.keywords, k=args.k, eps=args.eps)
+    if not results:
+        print("no street matches the query keywords")
+        return 1
+    rows = [[rank, res.street_id, res.street_name, f"{res.interest:,.0f}"]
+            for rank, res in enumerate(results, start=1)]
+    print(format_table(["rank", "street id", "street", "interest"], rows,
+                       title=f"top-{args.k} SOIs for {args.keywords}"))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    network, pois, photos = _load_city(args.data)
+    street_id = args.street
+    if street_id is None:
+        engine = SOIEngine(network, pois)
+        results = engine.top_k(args.keywords, k=1, eps=args.eps)
+        if not results:
+            print("no street matches the query keywords")
+            return 1
+        street_id = results[0].street_id
+    profile = build_street_profile(network, street_id, photos,
+                                   eps=args.eps, rho=args.rho)
+    if len(profile) == 0:
+        print(f"street {street_id} has no associated photos")
+        return 1
+    selected = STRelDivDescriber(profile).select(args.k, args.lam, args.w)
+    rows = []
+    for pos in selected:
+        photo = profile.photos[pos]
+        rows.append([photo.id, f"{photo.x:.5f}", f"{photo.y:.5f}",
+                     ", ".join(sorted(photo.keywords)[:6])])
+    print(format_table(
+        ["photo id", "x", "y", "tags"], rows,
+        title=f"{args.k}-photo summary of {profile.street_name!r} "
+              f"({len(profile)} candidates)"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "soi": _cmd_soi,
+    "describe": _cmd_describe,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Alternative street-interest aggregates.
+
+Definition 3 takes a street's interest to be the *maximum* interest among
+its segments, and the paper notes "there exist several alternatives for
+defining the interest of an entire street; here, we use a simple
+definition".  This module implements the natural alternatives so that the
+choice can be studied (see ``benchmarks/bench_ablation_aggregates.py``):
+
+* ``MAX`` — the paper's Definition 3 (one hot segment suffices);
+* ``MEAN`` — the unweighted mean of segment interests (favours uniformly
+  interesting streets);
+* ``LENGTH_WEIGHTED`` — segment interests weighted by segment length
+  (a long dull stretch dilutes a short hot one);
+* ``TOTAL_DENSITY`` — total street mass over total buffer area, i.e.
+  Definition 2 applied to the street as a whole.
+
+Only ``MAX`` is compatible with the SOI algorithm's Lemma 1 bounds (a
+seen segment lower-bounds the street only under max-aggregation), so the
+alternatives are evaluated through the exhaustive path
+(:meth:`repro.core.soi_baseline.BaselineSOI` exposes them via
+``aggregate=``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.core.interest import buffer_area
+from repro.network.model import RoadNetwork
+
+
+class StreetAggregate(Enum):
+    """How per-segment interests combine into a street interest."""
+
+    MAX = "max"
+    MEAN = "mean"
+    LENGTH_WEIGHTED = "length_weighted"
+    TOTAL_DENSITY = "total_density"
+
+
+def aggregate_street_interest(
+    network: RoadNetwork,
+    street_id: int,
+    segment_interests: Mapping[int, float],
+    aggregate: StreetAggregate,
+    eps: float,
+) -> float:
+    """Street interest under the chosen aggregate.
+
+    ``segment_interests`` maps every segment id of the street to its exact
+    Definition 2 interest.  ``eps`` is needed by ``TOTAL_DENSITY`` to
+    reconstruct masses from densities.
+    """
+    segments = network.segments_of_street(street_id)
+    values = [segment_interests[seg.id] for seg in segments]
+    if aggregate is StreetAggregate.MAX:
+        return max(values)
+    if aggregate is StreetAggregate.MEAN:
+        return sum(values) / len(values)
+    if aggregate is StreetAggregate.LENGTH_WEIGHTED:
+        total_length = sum(seg.length for seg in segments)
+        if total_length == 0:
+            return max(values)
+        return sum(value * seg.length
+                   for value, seg in zip(values, segments)) / total_length
+    if aggregate is StreetAggregate.TOTAL_DENSITY:
+        # Invert Definition 2 per segment to recover mass, then apply the
+        # density ratio to the whole street.  Note that a POI close to two
+        # segments of the street is counted once per segment, consistent
+        # with how the per-segment buffers overlap.
+        total_mass = sum(value * buffer_area(seg.length, eps)
+                         for value, seg in zip(values, segments))
+        total_area = sum(buffer_area(seg.length, eps) for seg in segments)
+        return total_mass / total_area
+    raise ValueError(f"unknown aggregate {aggregate!r}")
+
+
+def rank_streets(
+    network: RoadNetwork,
+    segment_interests: Mapping[int, float],
+    aggregate: StreetAggregate,
+    eps: float,
+    k: int,
+) -> list[tuple[int, float]]:
+    """Top-k ``(street_id, interest)`` under the chosen aggregate.
+
+    Zero-interest streets are omitted, matching the k-SOI output contract.
+    """
+    scored = []
+    for street_id in network.streets:
+        value = aggregate_street_interest(
+            network, street_id, segment_interests, aggregate, eps)
+        if value > 0:
+            scored.append((value, street_id))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [(street_id, value) for value, street_id in scored[:k]]

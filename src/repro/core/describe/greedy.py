@@ -1,0 +1,54 @@
+"""The BL baseline of Section 5.2.2: naive greedy MaxSum diversification.
+
+Like ST_Rel+Div it builds the summary incrementally, at each step adding
+the photo with the maximum marginal relevance (Equation 10) — but it
+"examines all photos in each iteration" instead of operating on grid cells
+with bounds.  Ties break towards the smallest photo position, the same
+rule Algorithm 2 uses, so the two methods return identical summaries.
+"""
+
+from __future__ import annotations
+
+from repro.core.describe.measures import mmr_value
+from repro.core.describe.profile import StreetProfile
+from repro.errors import QueryError
+
+
+class GreedyDescriber:
+    """Exhaustive greedy photo selection over a street profile."""
+
+    def __init__(self, profile: StreetProfile) -> None:
+        self.profile = profile
+
+    def select(self, k: int, lam: float = 0.5, w: float = 0.5) -> list[int]:
+        """Photo positions of the ``k``-photo summary.
+
+        Parameters mirror Equation 2/10: ``lam`` trades relevance for
+        diversity, ``w`` trades spatial for textual information.  Returns
+        fewer than ``k`` positions only when the profile holds fewer
+        photos.
+        """
+        _validate(k, lam, w)
+        n = len(self.profile)
+        selected: list[int] = []
+        remaining = set(range(n))
+        while len(selected) < min(k, n):
+            best_pos = -1
+            best_value = -1.0
+            for pos in sorted(remaining):
+                value = mmr_value(self.profile, pos, selected, lam, w, k)
+                if value > best_value:
+                    best_value = value
+                    best_pos = pos
+            selected.append(best_pos)
+            remaining.discard(best_pos)
+        return selected
+
+
+def _validate(k: int, lam: float, w: float) -> None:
+    if k < 1:
+        raise QueryError(f"summary size k must be at least 1, got {k}")
+    if not 0.0 <= lam <= 1.0:
+        raise QueryError(f"lambda must be in [0, 1], got {lam}")
+    if not 0.0 <= w <= 1.0:
+        raise QueryError(f"w must be in [0, 1], got {w}")

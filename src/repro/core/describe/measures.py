@@ -1,0 +1,99 @@
+"""Exact spatio-textual relevance and diversity measures (Section 4.1.2).
+
+All functions operate on photo *positions* within a
+:class:`~repro.core.describe.profile.StreetProfile` so that the greedy
+baseline, Algorithm 2's refinement and the objective scoring all evaluate
+bit-identical arithmetic — which is what lets the tests assert that
+ST_Rel+Div selects exactly the same photos as the naive greedy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.describe.profile import StreetProfile
+
+
+def spatial_div(profile: StreetProfile, a: int, b: int) -> float:
+    """Definition 5: pairwise distance normalised by ``maxD(s)``."""
+    photos = profile.photos
+    d = math.hypot(photos.xs[a] - photos.xs[b], photos.ys[a] - photos.ys[b])
+    return d / profile.max_d
+
+
+def textual_div(profile: StreetProfile, a: int, b: int) -> float:
+    """Definition 7: Jaccard distance of the two photos' tag sets."""
+    return jaccard_distance(profile.keyword_sets[a], profile.keyword_sets[b])
+
+
+def jaccard_distance(a: frozenset[str], b: frozenset[str]) -> float:
+    """``1 - |a n b| / |a u b|``; two empty sets have distance 0."""
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return 1.0 - len(a & b) / union
+
+
+def pair_div(profile: StreetProfile, a: int, b: int, w: float) -> float:
+    """Weighted pairwise diversity ``w * spatial + (1 - w) * textual``."""
+    return (w * spatial_div(profile, a, b)
+            + (1.0 - w) * textual_div(profile, a, b))
+
+
+def photo_rel(profile: StreetProfile, pos: int, w: float) -> float:
+    """Weighted relevance ``w * spatial + (1 - w) * textual`` of one photo."""
+    return (w * float(profile.spatial_rel[pos])
+            + (1.0 - w) * float(profile.textual_rel[pos]))
+
+
+def set_relevance(profile: StreetProfile, positions: Sequence[int],
+                  w: float) -> float:
+    """Equation 4: mean weighted relevance of the set."""
+    k = len(positions)
+    if k == 0:
+        return 0.0
+    return sum(photo_rel(profile, pos, w) for pos in positions) / k
+
+
+def set_diversity(profile: StreetProfile, positions: Sequence[int],
+                  w: float) -> float:
+    """Equation 5: mean weighted pairwise diversity of the set."""
+    k = len(positions)
+    if k < 2:
+        return 0.0
+    total = 0.0
+    for i in range(k):
+        for j in range(i + 1, k):
+            total += pair_div(profile, positions[i], positions[j], w)
+    return 2.0 * total / (k * (k - 1))
+
+
+def objective_value(profile: StreetProfile, positions: Sequence[int],
+                    lam: float, w: float) -> float:
+    """Equation 2: ``F = (1 - lambda) * rel + lambda * div``."""
+    return ((1.0 - lam) * set_relevance(profile, positions, w)
+            + lam * set_diversity(profile, positions, w))
+
+
+def mmr_value(
+    profile: StreetProfile,
+    pos: int,
+    selected: Sequence[int],
+    lam: float,
+    w: float,
+    k: int,
+) -> float:
+    """Equation 10: the maximal-marginal-relevance score of a candidate.
+
+    ``mmr(r) = (1 - lambda) * rel(r) + lambda / (k - 1) *
+    sum_{r' in R} div(r, r')`` where ``R`` is the already-selected set and
+    ``k`` the target summary size.  With ``k = 1`` the diversity term is
+    undefined in the paper's formula; selection then degenerates to pure
+    relevance, which is the natural reading.
+    """
+    value = (1.0 - lam) * photo_rel(profile, pos, w)
+    if selected and k > 1:
+        div_sum = sum(pair_div(profile, pos, other, w) for other in selected)
+        value += lam / (k - 1) * div_sum
+    return value

@@ -1,0 +1,153 @@
+"""The ST_Rel+Div algorithm (Algorithm 2).
+
+Greedy MaxSum diversification where each iteration first *filters* grid
+cells using the Section 4.2.2 bounds — discarding any cell whose ``mmr``
+upper bound falls below the best cell lower bound — and then *refines* the
+surviving cells in decreasing upper-bound order, computing exact ``mmr``
+only for their photos and shrinking the candidate list as better exact
+values are found.
+
+The selected summary is identical to the naive
+:class:`~repro.core.describe.greedy.GreedyDescriber` (both maximise exact
+``mmr`` with the same smallest-position tie-break); only the amount of work
+differs, which is what the Figure 6 experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.describe.bounds import CellBoundsContext
+from repro.core.describe.greedy import _validate
+from repro.core.describe.measures import mmr_value
+from repro.core.describe.profile import StreetProfile
+from repro.index.photo_grid import PhotoCell, PhotoGridIndex
+
+
+@dataclass(slots=True)
+class DescribeStats:
+    """Work counters of one ST_Rel+Div run (for the Figure 6 analysis)."""
+
+    iterations: int = 0
+    cells_considered: int = 0
+    cells_pruned_filter: int = 0
+    cells_pruned_refine: int = 0
+    photos_examined: int = 0
+
+    @property
+    def cells_refined(self) -> int:
+        return (self.cells_considered - self.cells_pruned_filter
+                - self.cells_pruned_refine)
+
+
+class STRelDivDescriber:
+    """Bound-accelerated greedy photo selection over a street profile."""
+
+    def __init__(self, profile: StreetProfile,
+                 index: PhotoGridIndex | None = None) -> None:
+        self.profile = profile
+        self.index = index or PhotoGridIndex(
+            profile.photos, profile.extent, profile.rho)
+        self._bounds = CellBoundsContext(profile, self.index)
+        # Per-cell running sums of the diversity bounds towards the
+        # already-selected photos.  The selected set only grows, so each
+        # new selection adds one increment per cell — O(cells) per
+        # iteration instead of O(cells * |selected|).
+        self._div_lo: dict[tuple[int, int], float] = {}
+        self._div_hi: dict[tuple[int, int], float] = {}
+
+    def select(self, k: int, lam: float = 0.5, w: float = 0.5) -> list[int]:
+        """Photo positions of the ``k``-photo summary (same contract as
+        :meth:`GreedyDescriber.select`)."""
+        positions, _stats = self.select_with_stats(k, lam, w)
+        return positions
+
+    def select_with_stats(
+        self, k: int, lam: float = 0.5, w: float = 0.5
+    ) -> tuple[list[int], DescribeStats]:
+        """Like :meth:`select` but also returns work counters."""
+        _validate(k, lam, w)
+        stats = DescribeStats()
+        n = len(self.profile)
+        selected: list[int] = []
+        selected_set: set[int] = set()
+        selected_per_cell: dict[tuple[int, int], int] = {}
+        self._div_lo = {cell.coord: 0.0 for cell in self.index.cells()}
+        self._div_hi = dict(self._div_lo)
+        while len(selected) < min(k, n):
+            stats.iterations += 1
+            best_pos = self._next_candidate(
+                selected, selected_set, selected_per_cell, lam, w, k, stats)
+            selected.append(best_pos)
+            selected_set.add(best_pos)
+            coord = self.index.grid.cell_of(
+                float(self.profile.photos.xs[best_pos]),
+                float(self.profile.photos.ys[best_pos]))
+            selected_per_cell[coord] = selected_per_cell.get(coord, 0) + 1
+            if lam > 0 and k > 1:
+                self._accumulate_div_bounds(best_pos, w)
+        return selected, stats
+
+    def _accumulate_div_bounds(self, pos: int, w: float) -> None:
+        """Fold the newly selected photo into the per-cell diversity sums."""
+        for cell in self.index.cells():
+            s_lo, s_hi = self._bounds.spatial_div_bounds(cell, pos)
+            t_lo, t_hi = self._bounds.textual_div_bounds(cell, pos)
+            self._div_lo[cell.coord] += w * s_lo + (1.0 - w) * t_lo
+            self._div_hi[cell.coord] += w * s_hi + (1.0 - w) * t_hi
+
+    # -- one greedy step ------------------------------------------------------
+
+    def _next_candidate(
+        self,
+        selected: list[int],
+        selected_set: set[int],
+        selected_per_cell: dict[tuple[int, int], int],
+        lam: float,
+        w: float,
+        k: int,
+        stats: DescribeStats,
+    ) -> int:
+        # Filtering phase: bound every cell that still holds candidates.
+        # Relevance bounds are cached per cell; diversity-sum bounds are
+        # maintained incrementally in _div_lo / _div_hi.
+        div_scale = lam / (k - 1) if (selected and k > 1) else 0.0
+        bounded: list[tuple[float, float, PhotoCell]] = []
+        mmr_min = float("-inf")
+        for cell in self.index.cells():
+            if selected_per_cell.get(cell.coord, 0) >= len(cell):
+                continue  # no unselected photos left in this cell
+            stats.cells_considered += 1
+            rel = self._bounds.relevance_bounds(cell)
+            lo = (1.0 - lam) * (w * rel.spatial_lo
+                                + (1.0 - w) * rel.textual_lo)
+            hi = (1.0 - lam) * (w * rel.spatial_hi
+                                + (1.0 - w) * rel.textual_hi)
+            if div_scale:
+                lo += div_scale * self._div_lo[cell.coord]
+                hi += div_scale * self._div_hi[cell.coord]
+            bounded.append((lo, hi, cell))
+            if lo > mmr_min:
+                mmr_min = lo
+        candidates = [(hi, cell) for lo, hi, cell in bounded
+                      if hi >= mmr_min]
+        stats.cells_pruned_filter += len(bounded) - len(candidates)
+
+        # Refinement phase: visit candidate cells by decreasing upper bound.
+        candidates.sort(key=lambda item: (-item[0], item[1].coord))
+        best_value = float("-inf")
+        best_pos = -1
+        for hi, cell in candidates:
+            if hi < best_value:
+                stats.cells_pruned_refine += 1
+                continue
+            for pos in cell.positions:
+                if pos in selected_set:
+                    continue
+                stats.photos_examined += 1
+                value = mmr_value(self.profile, pos, selected, lam, w, k)
+                if value > best_value or (value == best_value
+                                          and pos < best_pos):
+                    best_value = value
+                    best_pos = pos
+        return best_pos

@@ -1,0 +1,63 @@
+"""Result and statistics records shared by the SOI engine and its baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interest import validate_query
+
+
+@dataclass(frozen=True, slots=True)
+class SOIQuery:
+    """A k-SOI query ``q = <Psi, k, eps>`` (Problem 1).
+
+    ``keywords`` are normalised at construction; invalid parameters raise
+    :class:`~repro.errors.QueryError`.
+    """
+
+    keywords: frozenset[str]
+    k: int
+    eps: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "keywords",
+            validate_query(self.keywords, self.k, self.eps))
+
+
+@dataclass(frozen=True, slots=True)
+class SOIResult:
+    """One street in a k-SOI answer.
+
+    ``interest`` is the exact street interest (Definition 3) and
+    ``best_segment_id`` the segment attaining it.
+    """
+
+    street_id: int
+    street_name: str
+    interest: float
+    best_segment_id: int
+
+
+@dataclass(slots=True)
+class SOIStats:
+    """Work counters of one SOI run, for the performance experiments.
+
+    ``phase_seconds`` records the three phases the paper breaks Figure 4
+    bars into: ``"build"`` (source-list construction), ``"filter"`` and
+    ``"refine"``.
+    """
+
+    cells_popped: int = 0
+    segments_popped: int = 0
+    segments_seen: int = 0
+    segments_finalized_in_filter: int = 0
+    cell_visits: int = 0
+    refinement_finalized: int = 0
+    refinement_pruned: int = 0
+    iterations: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())

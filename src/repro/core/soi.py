@@ -1,0 +1,478 @@
+"""The SOI algorithm (Algorithm 1) and its public entry point, SOIEngine.
+
+The algorithm processes a k-SOI query top-k style: it pulls promising
+street segments from three ranked source lists (see
+:mod:`repro.core.source_lists`), maintains a *seen* lower bound ``LBk`` on
+the interest of the k best streets so far and an *unseen* upper bound
+``UB`` on the interest of any untouched segment, and stops pulling as soon
+as ``LBk >= UB`` (Lemma 1).  A refinement phase then finalises the exact
+interest of the seen segments — optionally pruning those whose optimistic
+interest cannot reach the k-th best street.
+
+Correctness notes (also summarised in DESIGN.md):
+
+* Popping a cell from SL1 touches every segment of ``L_eps(c)``, so any
+  still-unseen segment has only un-popped cells in its ``eps``-
+  neighbourhood; hence ``top(SL1)`` bounds the relevant count of each of
+  its cells, ``top(SL2)`` bounds how many such cells it has, and
+  ``top(SL3)`` bounds its length from below.
+* For weighted-POI queries every count bound is multiplied by the maximum
+  POI weight, keeping ``UB`` and the refinement bounds sound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.core.interest import (
+    RelevantCellCache,
+    buffer_area,
+    segment_interest,
+    segment_mass_in_cell,
+    validate_query,
+)
+from repro.core.results import SOIResult, SOIStats
+from repro.core.source_lists import CellSourceList, SegmentSourceList
+from repro.data.poi import POISet
+from repro.geometry.bbox import BBox
+from repro.index.cell_maps import SegmentCellMaps
+from repro.index.grid import CellCoord
+from repro.index.poi_grid import POIGridIndex
+from repro.network.model import RoadNetwork, Segment
+
+DEFAULT_EPS = 0.0005
+"""The distance threshold used throughout the paper's experiments
+(0.0005 degrees, about 55 m)."""
+
+
+class AccessStrategy(Enum):
+    """How the filtering phase cycles through the source lists.
+
+    The paper notes that correctness "is not affected by the access
+    strategy" and that in practice it alternates between SL1 and SL3;
+    the pseudocode itself round-robins SL1 -> SL2 -> SL3.  All variants
+    are provided for the ablation benchmark.
+    """
+
+    ALTERNATE = "alternate"          # SL1 <-> SL3 (the paper's practice)
+    ROUND_ROBIN = "round_robin"      # SL1 -> SL2 -> SL3 (the pseudocode)
+    CELLS_FIRST = "cells_first"      # drain SL1, then segments
+    SEGMENTS_FIRST = "segments_first"  # drain SL3, then cells
+
+    @property
+    def cycle(self) -> tuple[str, ...]:
+        return {
+            AccessStrategy.ALTERNATE: ("SL1", "SL3"),
+            AccessStrategy.ROUND_ROBIN: ("SL1", "SL2", "SL3"),
+            AccessStrategy.CELLS_FIRST: ("SL1",),
+            AccessStrategy.SEGMENTS_FIRST: ("SL3",),
+        }[self]
+
+
+@dataclass(slots=True)
+class _SegmentState:
+    """Book-keeping for a *seen* segment (the paper's partial/final states)."""
+
+    segment: Segment
+    to_visit: set[CellCoord]
+    mass: float = 0.0
+    final: bool = False
+
+
+class SOIEngine:
+    """Indexes a road network and a POI set; answers k-SOI queries.
+
+    Builds the offline structures of Section 3.2.1 once (grid + local and
+    global inverted indexes over POIs, cell/segment maps); the query-time
+    ``eps`` augmentation is cached inside :class:`SegmentCellMaps`.
+
+    Parameters
+    ----------
+    network, pois:
+        The data to index.
+    cell_size:
+        Grid cell side; defaults to ``2 * DEFAULT_EPS``.
+    extent_margin:
+        How far beyond the joint network/POI MBR the grid extends, so that
+        ``eps``-buffers near the border stay inside the grid.  Defaults to
+        ``4 * cell_size``.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        pois: POISet,
+        cell_size: float | None = None,
+        extent_margin: float | None = None,
+    ) -> None:
+        if cell_size is None:
+            cell_size = 2.0 * DEFAULT_EPS
+        if extent_margin is None:
+            extent_margin = 4.0 * cell_size
+        self.network = network
+        self.pois = pois
+        extent = network.bbox()
+        if len(pois):
+            extent = extent.union(
+                BBox(float(pois.xs.min()), float(pois.ys.min()),
+                     float(pois.xs.max()), float(pois.ys.max())))
+        self.extent = extent.expanded(extent_margin)
+        self.poi_index = POIGridIndex(pois, self.extent, cell_size)
+        self.cell_maps = SegmentCellMaps(network, self.poi_index.grid)
+        self._max_weight = float(pois.weights.max()) if len(pois) else 0.0
+        # SL3 order (length ascending) is query-independent; SL2 order
+        # depends only on eps, so it is cached per eps value.
+        self._sl3_entries: tuple[tuple[int, float], ...] = tuple(sorted(
+            ((seg.id, seg.length) for seg in network.iter_segments()),
+            key=lambda e: (e[1], e[0])))
+        self._sl2_cache: dict[float, tuple[tuple[tuple[int, float], ...],
+                                           float]] = {}
+
+    def _sl2_entries(self, eps: float) -> tuple[
+            tuple[tuple[int, float], ...], float]:
+        """Sorted SL2 entries and the adaptive-SL2 threshold, per eps."""
+        cached = self._sl2_cache.get(eps)
+        if cached is None:
+            cell_counts = self.cell_maps.augmented_cell_counts(eps)
+            entries = tuple(sorted(
+                ((sid, float(count)) for sid, count in cell_counts.items()),
+                key=lambda e: (-e[1], e[0])))
+            counts = sorted(cell_counts.values())
+            median = counts[len(counts) // 2] if counts else 0.0
+            cached = (entries, 1.5 * median)
+            self._sl2_cache[eps] = cached
+        return cached
+
+    # -- public API ---------------------------------------------------------
+
+    def top_k(
+        self,
+        keywords: Iterable[str],
+        k: int,
+        eps: float = DEFAULT_EPS,
+        strategy: AccessStrategy = AccessStrategy.ALTERNATE,
+        prune_refinement: bool = True,
+        weighted: bool = False,
+    ) -> list[SOIResult]:
+        """Answer a k-SOI query (Problem 1).
+
+        Returns up to ``k`` streets ordered by decreasing interest (ties
+        broken by street id); streets with zero interest are never
+        reported.  Set ``weighted=True`` to sum POI weights instead of
+        counting POIs (the Definition 1 adaptation).
+        """
+        results, _stats = self.top_k_with_stats(
+            keywords, k, eps, strategy=strategy,
+            prune_refinement=prune_refinement, weighted=weighted)
+        return results
+
+    def top_k_with_stats(
+        self,
+        keywords: Iterable[str],
+        k: int,
+        eps: float = DEFAULT_EPS,
+        strategy: AccessStrategy = AccessStrategy.ALTERNATE,
+        prune_refinement: bool = True,
+        weighted: bool = False,
+    ) -> tuple[list[SOIResult], SOIStats]:
+        """Like :meth:`top_k` but also returns work/timing counters."""
+        run = _SOIRun(self, validate_query(keywords, k, eps), k, eps,
+                      strategy, prune_refinement, weighted)
+        return run.execute()
+
+    def segment_exact_interest(
+        self,
+        segment_id: int,
+        keywords: Iterable[str],
+        eps: float = DEFAULT_EPS,
+        weighted: bool = False,
+    ) -> float:
+        """Exact Definition 2 interest of one segment (indexed path)."""
+        from repro.core.interest import segment_mass
+
+        query = validate_query(keywords, 1, eps)
+        segment = self.network.segment(segment_id)
+        mass = segment_mass(segment, self.poi_index, self.cell_maps,
+                            query, eps, weighted)
+        return segment_interest(mass, segment.length, eps)
+
+
+class _SOIRun:
+    """One execution of Algorithm 1 over a prepared :class:`SOIEngine`."""
+
+    def __init__(
+        self,
+        engine: SOIEngine,
+        query: frozenset[str],
+        k: int,
+        eps: float,
+        strategy: AccessStrategy,
+        prune_refinement: bool,
+        weighted: bool,
+    ) -> None:
+        self.engine = engine
+        self.query = query
+        self.k = k
+        self.eps = eps
+        self.strategy = strategy
+        self.prune_refinement = prune_refinement
+        self.weighted = weighted
+        self.stats = SOIStats()
+        self.cache = RelevantCellCache(engine.poi_index, query)
+        self._states: dict[int, _SegmentState] = {}
+        self._street_best_lb: dict[int, float] = {}
+        self._lbk_dirty = True
+        self._lbk = 0.0
+        # Weighted queries bound per-cell relevant mass by count * max weight.
+        self._weight_cap = engine._max_weight if weighted else 1.0
+
+    # -- driver -----------------------------------------------------------
+
+    def execute(self) -> tuple[list[SOIResult], SOIStats]:
+        t0 = time.perf_counter()
+        self._build_source_lists()
+        t1 = time.perf_counter()
+        self._filter()
+        t2 = time.perf_counter()
+        results = self._refine()
+        t3 = time.perf_counter()
+        self.stats.phase_seconds = {
+            "build": t1 - t0, "filter": t2 - t1, "refine": t3 - t2}
+        return results, self.stats
+
+    # -- phase 1: source lists --------------------------------------------
+
+    def _build_source_lists(self) -> None:
+        poi_index = self.engine.poi_index
+        # Per-cell |P_Psi(c)| upper bounds; cells absent from this map hold
+        # no relevant POI, so visiting them contributes nothing to mass.
+        self._cell_ub: dict[CellCoord, int] = {}
+        sl1_entries = []
+        for cell in poi_index.candidate_cells(self.query):
+            ub = poi_index.relevant_count_upper_bound(cell, self.query)
+            if ub > 0:
+                self._cell_ub[cell] = ub
+                sl1_entries.append((cell, ub))
+        self.sl1 = CellSourceList(sl1_entries)
+
+        # Threshold for the paper's adaptive SL2 access: "we only access
+        # segments via the second source SL2 in the case that a few
+        # segments with a large number of neighboring cells exist".  A
+        # segment whose |C_eps| is far above the median is such an outlier:
+        # it keeps top(SL2) — and hence UB — inflated, so it is retrieved
+        # directly instead of waiting for a cell access to reach it.
+        sl2_entries, self._sl2_threshold = self.engine._sl2_entries(self.eps)
+        is_final = self._is_final
+        is_seen = self._is_seen
+        self.sl2 = SegmentSourceList(
+            sl2_entries, descending=True,
+            is_final=is_final, is_seen=is_seen, presorted=True)
+        self.sl3 = SegmentSourceList(
+            self.engine._sl3_entries, descending=False,
+            is_final=is_final, is_seen=is_seen, presorted=True)
+        self._lists = {"SL1": self.sl1, "SL2": self.sl2, "SL3": self.sl3}
+
+    def _is_seen(self, segment_id: int) -> bool:
+        return segment_id in self._states
+
+    def _is_final(self, segment_id: int) -> bool:
+        state = self._states.get(segment_id)
+        return state is not None and state.final
+
+    # -- phase 2: filtering --------------------------------------------------
+
+    _CHECK_EVERY = 4
+    """Termination-test frequency.  Testing LBk >= UB on every access costs
+    more than the few extra accesses a delayed test allows, and a delayed
+    test is conservative (it can only keep filtering longer)."""
+
+    def _filter(self) -> None:
+        cycle = self.strategy.cycle
+        position = 0
+        while True:
+            if self.stats.iterations % self._CHECK_EVERY == 0:
+                lbk = self._compute_lbk()
+                ub = self._compute_ub()
+                if lbk >= ub:
+                    break
+            accessed = False
+            if (self.strategy is AccessStrategy.ALTERNATE
+                    and self._sl2_threshold > 0):
+                top2 = self.sl2.top()
+                if top2 is not None and top2 > self._sl2_threshold:
+                    accessed = self._access("SL2")
+            for offset in range(len(cycle)):
+                if accessed:
+                    break
+                name = cycle[(position + offset) % len(cycle)]
+                if self._access(name):
+                    position = (position + offset + 1) % len(cycle)
+                    accessed = True
+            if not accessed:
+                # Preferred lists drained; fall back to any remaining list.
+                for name in ("SL1", "SL2", "SL3"):
+                    if self._access(name):
+                        accessed = True
+                        break
+            if not accessed:
+                break
+            self.stats.iterations += 1
+
+    def _access(self, name: str) -> bool:
+        """Perform one access on the named list; False when exhausted."""
+        if name == "SL1":
+            cell = self.sl1.pop()
+            if cell is None:
+                return False
+            self.stats.cells_popped += 1
+            for sid in self.engine.cell_maps.segments_of_cell(cell, self.eps):
+                self._update_interest(self._state_of(sid), cell)
+            return True
+        source: SegmentSourceList = self._lists[name]
+        segment_id = source.pop()
+        if segment_id is None:
+            return False
+        self.stats.segments_popped += 1
+        self._finalize(self._state_of(segment_id))
+        return True
+
+    def _state_of(self, segment_id: int) -> _SegmentState:
+        state = self._states.get(segment_id)
+        if state is None:
+            segment = self.engine.network.segment(segment_id)
+            cells = self.engine.cell_maps.cells_of_segment(segment_id, self.eps)
+            state = _SegmentState(segment=segment, to_visit=set(cells))
+            self._states[segment_id] = state
+            self.stats.segments_seen += 1
+        return state
+
+    def _update_interest(self, state: _SegmentState, cell: CellCoord) -> None:
+        """The paper's ``UpdateInterest(l, c, Psi)`` procedure.
+
+        Cells known (from the global inverted index) to hold no relevant
+        POI are ticked off ``toVisit`` without touching the POI data.
+        """
+        if cell not in state.to_visit:
+            return
+        state.to_visit.remove(cell)
+        self.stats.cell_visits += 1
+        if cell in self._cell_ub:
+            state.mass += segment_mass_in_cell(
+                state.segment, cell, self.cache, self.eps, self.weighted)
+            self._record_lower_bound(state)
+        if not state.to_visit and not state.final:
+            state.final = True
+            self.stats.segments_finalized_in_filter += 1
+
+    def _finalize(self, state: _SegmentState) -> None:
+        for cell in tuple(state.to_visit):
+            self._update_interest(state, cell)
+        if not state.final:
+            state.final = True
+            self.stats.segments_finalized_in_filter += 1
+            self._record_lower_bound(state)
+
+    def _record_lower_bound(self, state: _SegmentState) -> None:
+        if state.mass <= 0.0:
+            # int-(l) = 0 can never contribute to LBk (zero-interest
+            # streets are not reported); skipping keeps the street map
+            # small and LBk a valid lower bound.
+            return
+        value = segment_interest(state.mass, state.segment.length, self.eps)
+        street_id = state.segment.street_id
+        if value > self._street_best_lb.get(street_id, 0.0):
+            self._street_best_lb[street_id] = value
+            self._lbk_dirty = True
+
+    def _compute_lbk(self) -> float:
+        """Current LBk; recomputed lazily and at most every few iterations.
+
+        Using a slightly stale (hence smaller) LBk in the termination test
+        is conservative — it can only delay termination, never cause a
+        wrong result — so the k-th-largest scan is throttled.
+        """
+        if not self._lbk_dirty or self.stats.iterations % 8 != 0:
+            return self._lbk
+        if len(self._street_best_lb) >= self.k:
+            self._lbk = heapq.nlargest(
+                self.k, self._street_best_lb.values())[-1]
+        self._lbk_dirty = False
+        return self._lbk
+
+    def _compute_ub(self) -> float:
+        top_cells = self.sl1.top()
+        top_count = self.sl2.top()
+        top_length = self.sl3.top()
+        if top_count is None or top_length is None:
+            return 0.0  # no unseen segments remain
+        mass_ub = top_cells * top_count * self._weight_cap
+        return mass_ub / buffer_area(top_length, self.eps)
+
+    # -- phase 3: refinement -------------------------------------------------
+
+    def _refine(self) -> list[SOIResult]:
+        # street_id -> (exact interest, best segment id)
+        exact: dict[int, tuple[float, int]] = {}
+
+        def record_exact(state: _SegmentState) -> None:
+            value = segment_interest(state.mass, state.segment.length, self.eps)
+            street_id = state.segment.street_id
+            best = exact.get(street_id)
+            if best is None or value > best[0]:
+                exact[street_id] = (value, state.segment.id)
+
+        partial: list[tuple[float, int, _SegmentState]] = []
+        for state in self._states.values():
+            if state.final:
+                record_exact(state)
+                continue
+            remaining_ub = sum(
+                self._cell_ub.get(cell, 0)
+                for cell in state.to_visit) * self._weight_cap
+            if remaining_ub == 0:
+                # The unvisited cells hold no relevant POIs: mass is exact.
+                state.to_visit.clear()
+                state.final = True
+                record_exact(state)
+                continue
+            optimistic = segment_interest(
+                state.mass + remaining_ub, state.segment.length, self.eps)
+            partial.append((optimistic, state.segment.id, state))
+
+        partial.sort(key=lambda item: (-item[0], item[1]))
+        for index, (optimistic, _sid, state) in enumerate(partial):
+            if self.prune_refinement and len(exact) >= self.k:
+                kth = heapq.nlargest(
+                    self.k, (value for value, _seg in exact.values()))[-1]
+                if optimistic < kth:
+                    self.stats.refinement_pruned += len(partial) - index
+                    break
+            self._finalize_exact(state)
+            record_exact(state)
+            self.stats.refinement_finalized += 1
+
+        ranked = sorted(
+            ((value, street_id, seg_id)
+             for street_id, (value, seg_id) in exact.items() if value > 0),
+            key=lambda item: (-item[0], item[1]))
+        network = self.engine.network
+        return [
+            SOIResult(street_id=street_id,
+                      street_name=network.street(street_id).name,
+                      interest=value,
+                      best_segment_id=seg_id)
+            for value, street_id, seg_id in ranked[: self.k]
+        ]
+
+    def _finalize_exact(self, state: _SegmentState) -> None:
+        for cell in state.to_visit:
+            self.stats.cell_visits += 1
+            if cell in self._cell_ub:
+                state.mass += segment_mass_in_cell(
+                    state.segment, cell, self.cache, self.eps, self.weighted)
+        state.to_visit.clear()
+        state.final = True

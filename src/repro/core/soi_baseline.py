@@ -1,0 +1,114 @@
+"""The BL baseline of the performance study (Section 5.2.1).
+
+BL "uses only the spatial grid index to efficiently compute the interest of
+every segment, and then determines the k-SOIs": no source lists, no bounds,
+no early termination — every segment's exact mass is computed via its
+``eps``-augmented cells, streets are ranked by their maximum segment
+interest, and the top k are returned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.aggregates import StreetAggregate
+
+from repro.core.interest import (
+    RelevantCellCache,
+    segment_interest,
+    segment_mass_in_cell,
+    validate_query,
+)
+from repro.core.results import SOIResult
+from repro.core.soi import DEFAULT_EPS, SOIEngine
+
+
+class BaselineSOI:
+    """Exhaustive k-SOI evaluation over a prepared :class:`SOIEngine`.
+
+    Shares the engine's indexes (the paper's BL also uses the grid), so a
+    timing comparison against :meth:`SOIEngine.top_k` isolates the benefit
+    of the source-list filtering rather than of indexing itself.
+    """
+
+    def __init__(self, engine: SOIEngine) -> None:
+        self.engine = engine
+
+    def top_k(
+        self,
+        keywords: Iterable[str],
+        k: int,
+        eps: float = DEFAULT_EPS,
+        weighted: bool = False,
+        aggregate: StreetAggregate | None = None,
+    ) -> list[SOIResult]:
+        """Top-k streets by exhaustive computation.
+
+        Output contract matches :meth:`SOIEngine.top_k`: decreasing
+        interest, ties by street id, zero-interest streets omitted.
+
+        ``aggregate`` selects how segment interests combine into a street
+        interest (default: Definition 3's maximum).  Alternatives are only
+        available on this exhaustive path — the SOI algorithm's bounds are
+        specific to max-aggregation (see :mod:`repro.core.aggregates`).
+        """
+        from repro.core.aggregates import StreetAggregate, rank_streets
+
+        interests = self.all_segment_interests(keywords, k, eps, weighted)
+        network = self.engine.network
+        if aggregate is None or aggregate is StreetAggregate.MAX:
+            best: dict[int, tuple[float, int]] = {}
+            for segment_id, value in interests.items():
+                street_id = network.segment(segment_id).street_id
+                current = best.get(street_id)
+                if current is None or value > current[0]:
+                    best[street_id] = (value, segment_id)
+            ranked = sorted(
+                ((value, street_id, seg_id)
+                 for street_id, (value, seg_id) in best.items()
+                 if value > 0),
+                key=lambda item: (-item[0], item[1]))
+            return [
+                SOIResult(street_id=street_id,
+                          street_name=network.street(street_id).name,
+                          interest=value,
+                          best_segment_id=seg_id)
+                for value, street_id, seg_id in ranked[:k]
+            ]
+        out = []
+        for street_id, value in rank_streets(network, interests,
+                                             aggregate, eps, k):
+            segments = network.segments_of_street(street_id)
+            best_segment = max(segments,
+                               key=lambda seg: interests[seg.id])
+            out.append(SOIResult(
+                street_id=street_id,
+                street_name=network.street(street_id).name,
+                interest=value,
+                best_segment_id=best_segment.id))
+        return out
+
+    def all_segment_interests(
+        self,
+        keywords: Iterable[str],
+        k: int = 1,
+        eps: float = DEFAULT_EPS,
+        weighted: bool = False,
+    ) -> dict[int, float]:
+        """Exact Definition 2 interest of *every* segment.
+
+        Also used by the effectiveness experiments that need the full
+        ranking rather than just the top k.
+        """
+        query = validate_query(keywords, k, eps)
+        cache = RelevantCellCache(self.engine.poi_index, query)
+        cell_maps = self.engine.cell_maps
+        out: dict[int, float] = {}
+        for segment in self.engine.network.iter_segments():
+            mass = 0.0
+            for cell in cell_maps.cells_of_segment(segment.id, eps):
+                mass += segment_mass_in_cell(segment, cell, cache, eps,
+                                             weighted)
+            out[segment.id] = segment_interest(mass, segment.length, eps)
+        return out

@@ -1,0 +1,92 @@
+"""Geotagged photos.
+
+A photo (Section 4.1.1) is ``r = <(x_r, y_r), Psi_r>``: a location plus a
+tag set.  Photos are the raw material of the *describe* stage: the set
+``R_s`` of photos within ``eps`` of a street is summarised by a small,
+spatio-textually diverse subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.data.keywords import normalize_keywords
+from repro.errors import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class Photo:
+    """A geotagged photo: id, location and tag set."""
+
+    id: int
+    x: float
+    y: float
+    keywords: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keywords", normalize_keywords(self.keywords))
+
+    def distance_to(self, other: "Photo") -> float:
+        """Euclidean distance between two photo locations."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+
+class PhotoSet:
+    """A column-oriented, immutable collection of photos.
+
+    Mirrors :class:`repro.data.poi.POISet`: NumPy coordinate columns indexed
+    by position, id-to-position mapping, and simple scan-based helpers used
+    by baselines and tests.
+    """
+
+    def __init__(self, photos: Iterable[Photo]) -> None:
+        items = list(photos)
+        seen_ids: set[int] = set()
+        for photo in items:
+            if photo.id in seen_ids:
+                raise DataError(f"duplicate photo id {photo.id}")
+            seen_ids.add(photo.id)
+        self._items: tuple[Photo, ...] = tuple(items)
+        self._position: dict[int, int] = {
+            photo.id: pos for pos, photo in enumerate(items)}
+        self.xs: np.ndarray = np.array(
+            [photo.x for photo in items], dtype=np.float64)
+        self.ys: np.ndarray = np.array(
+            [photo.y for photo in items], dtype=np.float64)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Photo]:
+        return iter(self._items)
+
+    def __getitem__(self, position: int) -> Photo:
+        """Photo at a *position* (not id); see :meth:`by_id`."""
+        return self._items[position]
+
+    def by_id(self, photo_id: int) -> Photo:
+        return self._items[self._position[photo_id]]
+
+    def position_of(self, photo_id: int) -> int:
+        return self._position[photo_id]
+
+    # -- queries -----------------------------------------------------------------
+
+    def subset(self, positions: Iterable[int]) -> "PhotoSet":
+        """A new :class:`PhotoSet` keeping only the given positions."""
+        return PhotoSet(self._items[pos] for pos in positions)
+
+    def vocabulary(self) -> frozenset[str]:
+        """All tags appearing in the set."""
+        vocab: set[str] = set()
+        for photo in self._items:
+            vocab |= photo.keywords
+        return frozenset(vocab)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhotoSet(n={len(self._items)})"

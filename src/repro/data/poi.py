@@ -1,0 +1,106 @@
+"""Points of Interest.
+
+A POI (Section 3.1) is ``p = <(x_p, y_p), Psi_p>``: a location plus a set of
+keywords.  The library additionally carries an optional per-POI ``weight``
+(default 1.0) implementing the weighted-mass extension the paper mentions
+immediately after Definition 1 ("this definition can be straightforwardly
+adapted in the case that POIs have different weights").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.data.keywords import normalize_keywords
+from repro.errors import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class POI:
+    """A Point of Interest: id, location, keyword set and weight."""
+
+    id: int
+    x: float
+    y: float
+    keywords: frozenset[str] = field(default_factory=frozenset)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise DataError(f"POI {self.id} has negative weight {self.weight}")
+        object.__setattr__(self, "keywords", normalize_keywords(self.keywords))
+
+    def matches(self, query_keywords: frozenset[str]) -> bool:
+        """Whether the POI is *relevant*: ``Psi_p`` intersects the query set."""
+        return not self.keywords.isdisjoint(query_keywords)
+
+
+class POISet:
+    """A column-oriented, immutable collection of POIs.
+
+    Coordinates are exposed as NumPy arrays (:attr:`xs`, :attr:`ys`) indexed
+    by *position*, with :meth:`position_of` mapping POI ids to positions.
+    The index layers store positions, so the mass kernels can gather
+    candidate coordinates with fancy indexing and run the vectorised
+    point-to-segment distance in one shot.
+    """
+
+    def __init__(self, pois: Iterable[POI]) -> None:
+        items = list(pois)
+        seen_ids: set[int] = set()
+        for poi in items:
+            if poi.id in seen_ids:
+                raise DataError(f"duplicate POI id {poi.id}")
+            seen_ids.add(poi.id)
+        self._items: tuple[POI, ...] = tuple(items)
+        self._position: dict[int, int] = {
+            poi.id: pos for pos, poi in enumerate(items)}
+        self.xs: np.ndarray = np.array(
+            [poi.x for poi in items], dtype=np.float64)
+        self.ys: np.ndarray = np.array(
+            [poi.y for poi in items], dtype=np.float64)
+        self.weights: np.ndarray = np.array(
+            [poi.weight for poi in items], dtype=np.float64)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[POI]:
+        return iter(self._items)
+
+    def __getitem__(self, position: int) -> POI:
+        """POI at a *position* (not id); see :meth:`by_id`."""
+        return self._items[position]
+
+    def by_id(self, poi_id: int) -> POI:
+        return self._items[self._position[poi_id]]
+
+    def position_of(self, poi_id: int) -> int:
+        return self._position[poi_id]
+
+    # -- queries -----------------------------------------------------------------
+
+    def relevant_positions(self, query_keywords: Iterable[str]) -> list[int]:
+        """Positions of POIs matching at least one query keyword.
+
+        A linear scan — the indexed path lives in
+        :mod:`repro.index.poi_grid`; this exists for baselines and tests.
+        """
+        query = frozenset(query_keywords)
+        return [pos for pos, poi in enumerate(self._items)
+                if poi.matches(query)]
+
+    def vocabulary(self) -> frozenset[str]:
+        """All keywords appearing in the set."""
+        vocab: set[str] = set()
+        for poi in self._items:
+            vocab |= poi.keywords
+        return frozenset(vocab)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"POISet(n={len(self._items)})"

@@ -1,0 +1,40 @@
+"""Synthetic city generation.
+
+The paper's evaluation uses web-harvested data (OSM road networks,
+DBpedia/OSM/Wikimapia/Foursquare POIs, Flickr/Panoramio photos) that is
+not available offline.  This subpackage generates the closest synthetic
+equivalent — see DESIGN.md ("Data substitution") for the full rationale:
+
+* :mod:`repro.datagen.vocab` -- the POI category taxonomy and photo tag
+  vocabulary;
+* :mod:`repro.datagen.city` -- road-network layout (perturbed grid with
+  diagonal avenues and breakpoints) and the :class:`City` bundle;
+* :mod:`repro.datagen.pois` -- POI placement (uniform background noise
+  plus dense linear clusters along planted destination streets);
+* :mod:`repro.datagen.photos` -- photo placement (landmark hotspots,
+  near-duplicate event bursts, background noise);
+* :mod:`repro.datagen.presets` -- the London/Berlin/Vienna-shaped presets
+  used by the benchmark suite.
+
+Everything is driven by a seeded :class:`numpy.random.Generator`, so every
+dataset (and thus every experiment) is reproducible bit for bit.
+"""
+
+from repro.datagen.city import City, CitySpec, generate_city
+from repro.datagen.presets import (
+    CITY_PRESETS,
+    build_preset,
+    preset_spec,
+)
+from repro.datagen.vocab import CATEGORIES, category_keywords
+
+__all__ = [
+    "CATEGORIES",
+    "CITY_PRESETS",
+    "City",
+    "CitySpec",
+    "build_preset",
+    "category_keywords",
+    "generate_city",
+    "preset_spec",
+]

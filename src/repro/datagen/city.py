@@ -1,0 +1,250 @@
+"""Synthetic road-network layout and the :class:`City` bundle.
+
+The generated network is a jittered grid — ``n_horizontal`` east-west
+lines crossing ``n_vertical`` north-south lines, all sharing the jittered
+intersection vertices — plus a few diagonal avenues threaded through
+existing intersections.  Each grid line is *chunked* into several named
+streets of a few blocks each (street names change every few blocks in
+real cities, and the k-SOI query ranks streets, so their granularity
+matters), and random mid-block breakpoints split segments further
+(matching the paper's model where vertices are "street intersections or
+breakpoints in streets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.photo import PhotoSet
+from repro.data.poi import POISet
+from repro.datagen import vocab
+from repro.network.builder import RoadNetworkBuilder
+from repro.network.model import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class CitySpec:
+    """Parameters of one synthetic city.
+
+    The preset module instantiates three of these shaped like the paper's
+    London/Berlin/Vienna datasets (scaled down; see DESIGN.md).
+    """
+
+    name: str
+    seed: int
+    # network layout
+    n_horizontal: int = 20
+    n_vertical: int = 20
+    n_diagonal: int = 4
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+    width: float = 0.12
+    height: float = 0.12
+    jitter: float = 0.18           # fraction of grid spacing
+    breakpoint_prob: float = 0.25  # chance of a mid-block breakpoint
+    chunk_min: int = 2             # min intersections per named street
+    chunk_max: int = 5             # max intersections per named street
+    # POIs
+    n_background_pois: int = 1500    # long-tail, uniform
+    misc_street_pois: int = 3500     # long-tail, street-attached
+    street_pois_per_category: int = 450
+    pareto_alpha: float = 1.0      # street-popularity tail (smaller = heavier)
+    centrality_sigma: float = 0.24  # radial density falloff, as a fraction
+    #                                 of the extent half-diagonal (real
+    #                                 cities have dense centres and sparse
+    #                                 peripheries; this is what the SOI
+    #                                 bounds prune on broad queries)
+    destinations_per_category: int = 6
+    hotspot_spread: float = 0.0003
+    # photos
+    n_background_photos: int = 400
+    street_photos: int = 1200      # photos hugging street courses, with
+    #                                Pareto x centrality street popularity
+    #                                (popular streets accumulate thousands
+    #                                of photos, like Oxford Street does)
+    n_landmarks: int = 25
+    photos_per_landmark: int = 30
+    landmark_spread: float = 0.0004
+    n_event_bursts: int = 4
+    event_burst_size: int = 40
+
+
+@dataclass(slots=True)
+class Landmark:
+    """A photo hotspot: location, identifying tag and category."""
+
+    x: float
+    y: float
+    tag: str
+    category: str
+    street_id: int
+
+
+@dataclass(slots=True)
+class City:
+    """A complete synthetic dataset: network, POIs, photos, ground truth.
+
+    ``ground_truth`` maps each category to its most POI-laden streets,
+    ranked by decreasing planted count — the synthetic stand-in for the
+    paper's "authoritative Web sources" of Table 2.
+    """
+
+    name: str
+    spec: CitySpec
+    network: RoadNetwork
+    pois: POISet
+    photos: PhotoSet
+    ground_truth: dict[str, list[int]]
+    landmarks: list[Landmark] = field(default_factory=list)
+
+    def authoritative_sources(
+        self, category: str, size: int = 5, num_sources: int = 2,
+        seed: int = 0,
+    ) -> list[list[int]]:
+        """Synthesise ``num_sources`` noisy "top streets" lists (Table 2).
+
+        Each source samples ``size`` streets from the top ``size + 2``
+        planted destinations — mimicking how the paper's two tripadvisor/
+        globalblue lists overlapped but did not coincide.
+        """
+        truth = self.ground_truth[category]
+        pool = truth[: size + 2]
+        rng = np.random.default_rng(self.spec.seed * 7919 + seed)
+        sources = []
+        for _source in range(num_sources):
+            chosen = rng.choice(len(pool), size=min(size, len(pool)),
+                                replace=False)
+            sources.append([pool[i] for i in sorted(chosen)])
+        return sources
+
+
+def generate_network(
+    spec: CitySpec, rng: np.random.Generator
+) -> RoadNetwork:
+    """Build the chunked jittered-grid network (see module docstring)."""
+    nh, nv = spec.n_horizontal, spec.n_vertical
+    dx = spec.width / max(nv - 1, 1)
+    dy = spec.height / max(nh - 1, 1)
+    jx = spec.jitter * dx
+    jy = spec.jitter * dy
+    # Shared intersection lattice P[i][j].
+    px = (spec.origin_x + np.arange(nv) * dx
+          + rng.uniform(-jx, jx, size=(nh, nv)))
+    py = (spec.origin_y + np.arange(nh)[:, None] * dy
+          + rng.uniform(-jy, jy, size=(nh, nv)))
+
+    builder = RoadNetworkBuilder()
+    lattice = [[builder.add_vertex(float(px[i, j]), float(py[i, j]))
+                for j in range(nv)] for i in range(nh)]
+
+    street_index = 0
+
+    def add_line(vertex_ids: list[int]) -> None:
+        """Chunk one grid line into consecutive named streets."""
+        nonlocal street_index
+        for chunk in _chunk_line(vertex_ids, spec, rng):
+            expanded = _with_breakpoints(builder, chunk, spec, rng)
+            builder.add_street(vocab.street_name(street_index), expanded)
+            street_index += 1
+
+    for i in range(nh):
+        add_line([lattice[i][j] for j in range(nv)])
+    for j in range(nv):
+        add_line([lattice[i][j] for i in range(nh)])
+    for d in range(spec.n_diagonal):
+        if min(nh, nv) < 3:
+            break
+        offset = int(rng.integers(0, max(1, min(nh, nv) - 2)))
+        if d % 2 == 0:
+            coords = [(t, min(t + offset, nv - 1))
+                      for t in range(min(nh, nv - offset))]
+        else:
+            coords = [(t, max(nv - 1 - t - offset, 0))
+                      for t in range(min(nh, nv - offset))]
+        vertex_ids = []
+        for i, j in coords:
+            vid = lattice[i][j]
+            if not vertex_ids or vertex_ids[-1] != vid:
+                vertex_ids.append(vid)
+            # Diagonal hops are ~sqrt(2) blocks and cross other streets;
+            # add an intermediate vertex per hop (real avenues intersect
+            # the grid they cut through, so their segments stay short).
+            if len(vertex_ids) >= 2:
+                prev = vertex_ids[-2]
+                ux, uy = _coords(builder, prev)
+                vx, vy = _coords(builder, vid)
+                mid = builder.add_vertex((ux + vx) / 2.0, (uy + vy) / 2.0)
+                vertex_ids.insert(len(vertex_ids) - 1, mid)
+        if len(vertex_ids) >= 2:
+            add_line(vertex_ids)
+    return builder.build()
+
+
+def _chunk_line(
+    vertex_ids: list[int], spec: CitySpec, rng: np.random.Generator
+) -> list[list[int]]:
+    """Split a grid line into overlapping-at-endpoints vertex chunks.
+
+    Consecutive chunks share their boundary intersection, so the chunked
+    streets remain connected without duplicating segments.
+    """
+    if spec.chunk_min >= len(vertex_ids):
+        return [vertex_ids]
+    chunks = []
+    start = 0
+    n = len(vertex_ids)
+    while start < n - 1:
+        size = int(rng.integers(spec.chunk_min, spec.chunk_max + 1))
+        end = min(start + size, n - 1)
+        # Avoid a trailing stub shorter than chunk_min.
+        if n - 1 - end < spec.chunk_min - 1:
+            end = n - 1
+        chunks.append(vertex_ids[start: end + 1])
+        start = end
+    return chunks
+
+
+def _with_breakpoints(
+    builder: RoadNetworkBuilder,
+    vertex_ids: list[int],
+    spec: CitySpec,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Insert jittered mid-block breakpoint vertices with some probability."""
+    if spec.breakpoint_prob <= 0:
+        return vertex_ids
+    out = [vertex_ids[0]]
+    for u, v in zip(vertex_ids, vertex_ids[1:]):
+        if rng.random() < spec.breakpoint_prob:
+            # Breakpoint somewhere in the middle half of the block,
+            # nudged slightly off the straight line.
+            t = float(rng.uniform(0.3, 0.7))
+            ux, uy = _coords(builder, u)
+            vx, vy = _coords(builder, v)
+            nudge = 0.04 * np.hypot(vx - ux, vy - uy)
+            mx = ux + t * (vx - ux) + float(rng.uniform(-nudge, nudge))
+            my = uy + t * (vy - uy) + float(rng.uniform(-nudge, nudge))
+            out.append(builder.add_vertex(mx, my))
+        out.append(v)
+    return out
+
+
+def _coords(builder: RoadNetworkBuilder, vertex_id: int) -> tuple[float, float]:
+    vertex = builder._vertices[vertex_id]
+    return vertex.x, vertex.y
+
+
+def generate_city(spec: CitySpec) -> City:
+    """Generate the full dataset for a :class:`CitySpec` (deterministic)."""
+    from repro.datagen.photos import generate_photos
+    from repro.datagen.pois import generate_pois
+
+    rng = np.random.default_rng(spec.seed)
+    network = generate_network(spec, rng)
+    pois, ground_truth = generate_pois(network, spec, rng)
+    photos, landmarks = generate_photos(network, spec, ground_truth, rng)
+    return City(name=spec.name, spec=spec, network=network, pois=pois,
+                photos=photos, ground_truth=ground_truth,
+                landmarks=landmarks)

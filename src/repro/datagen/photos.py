@@ -1,0 +1,157 @@
+"""Photo placement for synthetic cities.
+
+Three populations, engineered to reproduce the pathologies Figure 3 of the
+paper illustrates (and that the diversification methods must overcome):
+
+* **landmark hotspots** — tight Gaussian clusters of photos around points
+  on popular streets, each sharing a landmark tag plus category and
+  generic tags (the "everyone photographs the HMV storefront" effect);
+* **event bursts** — very tight clusters of near-duplicate photos sharing
+  one event tag family (the "demonstration along Oxford Street" effect
+  that fools purely textual relevance);
+* **background noise** — photos scattered uniformly with generic tags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.photo import Photo, PhotoSet
+from repro.datagen import vocab
+from repro.datagen.city import CitySpec, Landmark
+from repro.network.model import RoadNetwork
+
+
+def generate_photos(
+    network: RoadNetwork,
+    spec: CitySpec,
+    ground_truth: dict[str, list[int]],
+    rng: np.random.Generator,
+) -> tuple[PhotoSet, list[Landmark]]:
+    """All photos of the city plus the landmark registry."""
+    photos: list[Photo] = []
+    next_id = 0
+    landmarks = _place_landmarks(network, spec, ground_truth, rng)
+
+    # -- landmark hotspots ---------------------------------------------------
+    for landmark in landmarks:
+        count = max(3, int(rng.poisson(spec.photos_per_landmark)))
+        for _ in range(count):
+            x = float(rng.normal(landmark.x, spec.landmark_spread))
+            y = float(rng.normal(landmark.y, spec.landmark_spread))
+            tags = {landmark.tag}
+            tags.update(_sample(vocab.category_keywords(landmark.category),
+                                rng, 1, 3))
+            tags.update(_sample(vocab.GENERIC_PHOTO_TAGS, rng, 1, 4))
+            photos.append(Photo(next_id, x, y, frozenset(tags)))
+            next_id += 1
+
+    # -- event bursts ------------------------------------------------------------
+    burst_hosts = landmarks[: spec.n_event_bursts]
+    for burst_index, host in enumerate(burst_hosts):
+        family = vocab.EVENT_TAGS[burst_index % len(vocab.EVENT_TAGS)]
+        for _ in range(spec.event_burst_size):
+            x = float(rng.normal(host.x, spec.landmark_spread / 4.0))
+            y = float(rng.normal(host.y, spec.landmark_spread / 4.0))
+            tags = set(_sample(family, rng, 3, len(family)))
+            tags.add(f"event{burst_index}")
+            tags.update(_sample(vocab.GENERIC_PHOTO_TAGS, rng, 0, 2))
+            photos.append(Photo(next_id, x, y, frozenset(tags)))
+            next_id += 1
+
+    # -- street-attached photos -----------------------------------------------------
+    # Popular streets accumulate photos the way they accumulate POIs:
+    # heavy-tailed per-street volume, boosted towards the city centre.
+    if spec.street_photos > 0:
+        from repro.datagen.pois import _along_street, _street_centrality
+
+        street_ids = sorted(network.streets)
+        centrality = _street_centrality(network, street_ids, spec)
+        popularity = (rng.pareto(spec.pareto_alpha, size=len(street_ids))
+                      + 0.05) * centrality
+        # Photogenic destination streets attract disproportionate photo
+        # volume (everyone photographs Oxford Street), so the top SOIs
+        # have rich photo populations to describe.
+        boost = {}
+        position = {sid: i for i, sid in enumerate(street_ids)}
+        for category in ("shop", "culture", "nightlife", "food"):
+            for rank, sid in enumerate(ground_truth.get(category, [])):
+                factor = 8.0 * 0.7 ** rank
+                index = position[sid]
+                boost[index] = max(boost.get(index, 1.0), factor)
+        for index, factor in boost.items():
+            popularity[index] *= factor
+        popularity /= popularity.sum()
+        counts = rng.multinomial(spec.street_photos, popularity)
+        categories = list(vocab.CATEGORIES)
+        for street_id, count in zip(street_ids, counts):
+            if count == 0:
+                continue
+            category = categories[int(rng.integers(0, len(categories)))]
+            for x, y in _along_street(network, street_id, int(count),
+                                      spec.landmark_spread, rng):
+                tags = set(_sample(vocab.GENERIC_PHOTO_TAGS, rng, 1, 3))
+                tags.update(_sample(
+                    vocab.category_keywords(category), rng, 0, 2))
+                photos.append(Photo(next_id, x, y, frozenset(tags)))
+                next_id += 1
+
+    # -- background noise -----------------------------------------------------------
+    xs = rng.uniform(spec.origin_x, spec.origin_x + spec.width,
+                     size=spec.n_background_photos)
+    ys = rng.uniform(spec.origin_y, spec.origin_y + spec.height,
+                     size=spec.n_background_photos)
+    for x, y in zip(xs, ys):
+        tags = frozenset(_sample(vocab.GENERIC_PHOTO_TAGS, rng, 1, 4))
+        photos.append(Photo(next_id, float(x), float(y), tags))
+        next_id += 1
+    return PhotoSet(photos), landmarks
+
+
+def _place_landmarks(
+    network: RoadNetwork,
+    spec: CitySpec,
+    ground_truth: dict[str, list[int]],
+    rng: np.random.Generator,
+) -> list[Landmark]:
+    """Landmarks sit on destination streets first, then random streets.
+
+    Destination streets of photogenic categories (shop, culture,
+    nightlife) host the first landmarks so that top SOIs have rich photo
+    populations to describe.
+    """
+    hosts: list[tuple[int, str]] = []
+    for category in ("shop", "culture", "nightlife", "food"):
+        for street_id in ground_truth.get(category, []):
+            hosts.append((street_id, category))
+    street_ids = sorted(network.streets)
+    while len(hosts) < spec.n_landmarks:
+        street_id = street_ids[int(rng.integers(0, len(street_ids)))]
+        category = list(vocab.CATEGORIES)[
+            int(rng.integers(0, len(vocab.CATEGORIES)))]
+        hosts.append((street_id, category))
+    landmarks = []
+    for index, (street_id, category) in enumerate(hosts[: spec.n_landmarks]):
+        segments = network.segments_of_street(street_id)
+        seg = segments[int(rng.integers(0, len(segments)))]
+        t = float(rng.uniform(0.15, 0.85))
+        x = seg.ax + t * (seg.bx - seg.ax)
+        y = seg.ay + t * (seg.by - seg.ay)
+        landmarks.append(Landmark(x=float(x), y=float(y),
+                                  tag=f"landmark{index}",
+                                  category=category,
+                                  street_id=street_id))
+    return landmarks
+
+
+def _sample(
+    pool: tuple[str, ...], rng: np.random.Generator, lo: int, hi: int
+) -> set[str]:
+    """Between ``lo`` and ``hi`` distinct items from ``pool``."""
+    hi = min(hi, len(pool))
+    lo = min(lo, hi)
+    n = int(rng.integers(lo, hi + 1)) if hi > lo else lo
+    if n == 0:
+        return set()
+    picks = rng.choice(len(pool), size=n, replace=False)
+    return {pool[i] for i in picks}

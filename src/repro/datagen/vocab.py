@@ -1,0 +1,96 @@
+"""Category taxonomy and tag vocabulary for the synthetic datasets.
+
+The categories mirror the keyword families the paper queries with
+(Section 5.2.1 uses ``{religion, education, food, services}``; the
+effectiveness study uses ``shop``).  Each category maps to a pool of
+keywords with the head keyword first; generated POIs draw a few keywords
+from their category's pool, so querying for the head keyword (e.g.
+``"shop"``) matches a realistic fraction of the category's POIs.
+"""
+
+from __future__ import annotations
+
+CATEGORIES: dict[str, tuple[str, ...]] = {
+    "shop": ("shop", "shopping", "store", "boutique", "fashion", "clothes",
+             "mall", "jewelry", "shoes", "market", "department", "retail"),
+    "food": ("food", "restaurant", "cafe", "bistro", "bakery", "pizza",
+             "bar", "kitchen", "grill", "sushi", "burger", "tavern"),
+    "religion": ("religion", "church", "chapel", "cathedral", "mosque",
+                 "synagogue", "temple", "parish", "abbey"),
+    "education": ("education", "school", "university", "college", "academy",
+                  "institute", "library", "kindergarten", "campus"),
+    "services": ("services", "bank", "pharmacy", "clinic", "post", "salon",
+                 "laundry", "repair", "agency", "office", "atm"),
+    "culture": ("culture", "museum", "gallery", "theatre", "cinema", "opera",
+                "monument", "exhibition", "arts"),
+    "nightlife": ("nightlife", "club", "pub", "lounge", "disco", "cocktail",
+                  "karaoke", "casino"),
+    "nature": ("nature", "park", "garden", "playground", "fountain", "pond",
+               "green", "trees"),
+    "transport": ("transport", "station", "metro", "bus", "tram", "parking",
+                  "taxi", "terminal"),
+    "sport": ("sport", "gym", "stadium", "pool", "fitness", "tennis",
+              "arena", "pitch"),
+}
+"""Category name -> keyword pool (head keyword first)."""
+
+GENERIC_PHOTO_TAGS: tuple[str, ...] = (
+    "city", "travel", "street", "architecture", "urban", "europe", "walk",
+    "evening", "morning", "summer", "winter", "people", "sky", "night",
+    "building", "view", "trip", "holiday",
+)
+"""Tags any photo may carry regardless of subject."""
+
+EVENT_TAGS: tuple[tuple[str, ...], ...] = (
+    ("demonstration", "protest", "march", "crowd", "banner"),
+    ("festival", "parade", "music", "stage", "celebration"),
+    ("release", "premiere", "queue", "fans", "launch"),
+    ("marathon", "race", "runners", "finish", "sport"),
+    ("christmas", "market", "lights", "stalls", "mulled"),
+)
+"""Tag families for event bursts (the Figure 3 demonstration effect)."""
+
+STREET_NAME_STEMS: tuple[str, ...] = (
+    "Oak", "Maple", "King", "Queen", "Station", "Church", "Mill", "Park",
+    "Castle", "Bridge", "Garden", "Harbor", "Market", "Tower", "River",
+    "Cross", "North", "South", "East", "West", "Victory", "Crown", "Linden",
+    "Rose", "Willow", "Cedar", "Elm", "Ivy", "Summit", "Valley",
+)
+
+STREET_NAME_SUFFIXES: tuple[str, ...] = (
+    "Street", "Avenue", "Road", "Lane", "Boulevard", "Row", "Way", "Walk",
+)
+
+
+def longtail_keywords(rng, pool_size: int = 4000) -> frozenset[str]:
+    """1-3 proper-noun-like tokens from a large long-tail vocabulary.
+
+    Real POI collections are dominated by venue names and one-off tags
+    that match no category query (the paper's Table 4: even four broad
+    keywords match under 10% of London's 2.1M POIs).  These tokens are
+    guaranteed disjoint from every category pool.
+    """
+    n = int(rng.integers(1, 4))
+    picks = rng.integers(0, pool_size, size=n)
+    return frozenset(f"venue-{int(i)}" for i in picks)
+
+
+def category_keywords(category: str) -> tuple[str, ...]:
+    """The keyword pool of a category (KeyError for unknown categories)."""
+    return CATEGORIES[category]
+
+
+def head_keyword(category: str) -> str:
+    """The category's head keyword — what benchmark queries search for."""
+    return CATEGORIES[category][0]
+
+
+def street_name(index: int) -> str:
+    """A deterministic, human-plausible street name for street ``index``."""
+    stem = STREET_NAME_STEMS[index % len(STREET_NAME_STEMS)]
+    suffix = STREET_NAME_SUFFIXES[(index // len(STREET_NAME_STEMS))
+                                  % len(STREET_NAME_SUFFIXES)]
+    round_ = index // (len(STREET_NAME_STEMS) * len(STREET_NAME_SUFFIXES))
+    if round_ == 0:
+        return f"{stem} {suffix}"
+    return f"{stem} {suffix} {round_ + 1}"

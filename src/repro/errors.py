@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish configuration mistakes from malformed data.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class NetworkError(ReproError):
+    """A road network is structurally invalid.
+
+    Raised by :class:`repro.network.builder.RoadNetworkBuilder` and by
+    :meth:`repro.network.model.RoadNetwork.validate` when, for instance, a
+    segment references an unknown vertex, a street is not a simple path, or
+    two entities share an identifier.
+    """
+
+
+class DataError(ReproError):
+    """A POI, photo or keyword payload is malformed."""
+
+
+class IndexError_(ReproError):
+    """An index was queried in a way that is inconsistent with how it was
+    built (e.g. asking a grid for a cell it does not contain, or using a
+    segment id unknown to the cell maps)."""
+
+
+class QueryError(ReproError):
+    """A query carries invalid parameters (``k < 1``, negative ``eps``,
+    empty keyword set where one is required, ...)."""

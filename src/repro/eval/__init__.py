@@ -1,0 +1,20 @@
+"""Evaluation harness shared by the benchmark suite and the examples.
+
+* :mod:`repro.eval.metrics` -- recall/precision and ranking metrics;
+* :mod:`repro.eval.timing` -- lightweight wall-clock timers;
+* :mod:`repro.eval.reporting` -- ASCII table formatting;
+* :mod:`repro.eval.experiments` -- one driver function per paper
+  table/figure (the benches call these and print their output).
+"""
+
+from repro.eval.metrics import average_precision, precision_at_k, recall_at_k
+from repro.eval.reporting import format_table
+from repro.eval.timing import Timer
+
+__all__ = [
+    "Timer",
+    "average_precision",
+    "format_table",
+    "precision_at_k",
+    "recall_at_k",
+]

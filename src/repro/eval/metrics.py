@@ -1,0 +1,68 @@
+"""Ranking-quality metrics for the effectiveness experiments.
+
+The Table 2 study reports "recall (at rank 10) of 0.8" against
+authoritative street lists; these helpers compute that and the usual
+companions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def recall_at_k(
+    ranked: Sequence[Hashable], relevant: Sequence[Hashable], k: int
+) -> float:
+    """Fraction of ``relevant`` items appearing in the top ``k`` of ``ranked``.
+
+    Returns 0.0 for an empty relevant set (nothing to recall).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    truth = set(relevant)
+    if not truth:
+        return 0.0
+    hits = sum(1 for item in ranked[:k] if item in truth)
+    return hits / len(truth)
+
+
+def precision_at_k(
+    ranked: Sequence[Hashable], relevant: Sequence[Hashable], k: int
+) -> float:
+    """Fraction of the top ``k`` that is relevant (0.0 for ``k == 0``)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return 0.0
+    truth = set(relevant)
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in truth) / len(top)
+
+
+def average_precision(
+    ranked: Sequence[Hashable], relevant: Sequence[Hashable]
+) -> float:
+    """Mean of precision@rank over the ranks of relevant hits."""
+    truth = set(relevant)
+    if not truth:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in truth:
+            hits += 1
+            total += hits / rank
+    return total / len(truth)
+
+
+def reciprocal_rank(
+    ranked: Sequence[Hashable], relevant: Sequence[Hashable]
+) -> float:
+    """1 / rank of the first relevant item; 0.0 when none appears."""
+    truth = set(relevant)
+    for rank, item in enumerate(ranked, start=1):
+        if item in truth:
+            return 1.0 / rank
+    return 0.0

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for benchmark/example output.
+
+The benches print their results in the same row/series shape as the
+paper's tables and figures; this module keeps that printing consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """A compact fixed-point rendering used across reports."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with padded columns.
+
+    Cells are stringified with ``str``; callers pre-format floats (e.g.
+    via :func:`format_float`) when they care about digits.
+    """
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths[: len(headers)]))
+    for row in materialised:
+        lines.append(" | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Sequence[object],
+                  ys: Sequence[float], digits: int = 4) -> str:
+    """One figure series as ``label: x=y, x=y, ...`` (for figure benches)."""
+    pairs = ", ".join(f"{x}={format_float(float(y), digits)}"
+                      for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

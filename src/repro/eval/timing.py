@@ -1,0 +1,52 @@
+"""Wall-clock timing helpers for the performance experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once, returning ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def best_of(fn: Callable[[], T], repeats: int = 3) -> tuple[T, float]:
+    """Run ``fn`` ``repeats`` times; return the last result and best time.
+
+    The figure-regeneration benches use best-of-N to dampen machine noise
+    without the full pytest-benchmark calibration machinery.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    best = float("inf")
+    result: T
+    for _ in range(repeats):
+        result, seconds = time_call(fn)
+        best = min(best, seconds)
+    return result, best

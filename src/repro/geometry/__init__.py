@@ -1,0 +1,38 @@
+"""Geometry substrate: points, bounding boxes and exact distance kernels.
+
+The paper measures all distances in the Euclidean plane (coordinates are
+WGS84 degrees treated as planar, e.g. ``eps = 0.0005`` degrees is roughly
+55 m at London's latitude).  This subpackage provides the primitives every
+other layer builds on:
+
+* :mod:`repro.geometry.primitives` -- points and line segments;
+* :mod:`repro.geometry.bbox` -- axis-aligned bounding boxes;
+* :mod:`repro.geometry.distance` -- point/segment/box distance kernels,
+  both scalar and NumPy-vectorised.
+"""
+
+from repro.geometry.bbox import BBox
+from repro.geometry.primitives import Point, midpoint, segment_length
+from repro.geometry.distance import (
+    point_bbox_maxdist,
+    point_bbox_mindist,
+    point_distance,
+    point_segment_distance,
+    points_segment_distance,
+    segment_bbox_mindist,
+    segment_segment_distance,
+)
+
+__all__ = [
+    "BBox",
+    "Point",
+    "midpoint",
+    "point_bbox_maxdist",
+    "point_bbox_mindist",
+    "point_distance",
+    "point_segment_distance",
+    "points_segment_distance",
+    "segment_bbox_mindist",
+    "segment_length",
+    "segment_segment_distance",
+]

@@ -1,0 +1,123 @@
+"""Axis-aligned bounding boxes.
+
+Bounding boxes serve three roles in the library: grid cells hand out their
+extent as a :class:`BBox`, segment/cell ``eps``-augmentation tests distances
+against cell boxes, and the describe stage normalises photo distances by the
+diagonal of a street's buffered MBR (``maxD(s)`` in Definition 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.primitives import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An immutable axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate boxes (points, horizontal/vertical lines) are allowed; an
+    *inverted* box (``min_x > max_x``) is rejected at construction.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"inverted bounding box: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def of_segment(cls, ax: float, ay: float, bx: float, by: float) -> "BBox":
+        """MBR of the segment with endpoints ``(ax, ay)`` and ``(bx, by)``."""
+        return cls(min(ax, bx), min(ay, by), max(ax, bx), max(ay, by))
+
+    @classmethod
+    def of_points(cls, points) -> "BBox":
+        """MBR of a non-empty iterable of ``(x, y)`` pairs."""
+        it = iter(points)
+        try:
+            x, y = next(it)
+        except StopIteration:
+            raise ValueError("BBox.of_points requires at least one point")
+        min_x = max_x = x
+        min_y = max_y = y
+        for x, y in it:
+            if x < min_x:
+                min_x = x
+            elif x > max_x:
+                max_x = x
+            if y < min_y:
+                min_y = y
+            elif y > max_y:
+                max_y = y
+        return cls(min_x, min_y, max_x, max_y)
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the box diagonal (``maxD`` in Definition 5 uses this)."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0,
+                     (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    # -- predicates and transforms ---------------------------------------
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies in the closed box."""
+        return (self.min_x <= x <= self.max_x
+                and self.min_y <= y <= self.max_y)
+
+    def intersects(self, other: "BBox") -> bool:
+        """Whether the closed boxes share at least one point."""
+        return not (other.min_x > self.max_x or other.max_x < self.min_x
+                    or other.min_y > self.max_y or other.max_y < self.min_y)
+
+    def expanded(self, margin: float) -> "BBox":
+        """The box grown by ``margin`` on every side.
+
+        Definition 5 computes ``maxD(s)`` from the street MBR "extended with
+        a buffer of size eps"; this is that buffer operation.  A negative
+        margin shrinks the box and raises if it would invert.
+        """
+        return BBox(self.min_x - margin, self.min_y - margin,
+                    self.max_x + margin, self.max_y + margin)
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box covering both operands."""
+        return BBox(min(self.min_x, other.min_x),
+                    min(self.min_y, other.min_y),
+                    max(self.max_x, other.max_x),
+                    max(self.max_y, other.max_y))
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners, counter-clockwise from ``(min_x, min_y)``."""
+        return (Point(self.min_x, self.min_y),
+                Point(self.max_x, self.min_y),
+                Point(self.max_x, self.max_y),
+                Point(self.min_x, self.max_y))

@@ -1,0 +1,126 @@
+"""Exact distance kernels.
+
+These functions implement the distance semantics of the paper:
+
+* ``dist(p, l)`` -- minimum Euclidean distance of a point to any point of a
+  line segment (used by segment mass, Definition 1);
+* point/box min and max distances (used by the spatial-diversity cell bounds,
+  Equations 15-16);
+* segment/box minimum distance (used to build the ``eps``-augmented
+  cell-to-segment and segment-to-cell maps of Section 3.2.1).
+
+Scalar kernels are pure Python; :func:`points_segment_distance` is the
+NumPy-vectorised batch used on the hot path of mass computation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.bbox import BBox
+from repro.geometry.primitives import project_onto_segment, segments_intersect
+
+
+def point_distance(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(bx - ax, by - ay)
+
+
+def point_segment_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Minimum distance from point ``p`` to segment ``a -> b``.
+
+    This is the paper's ``dist(p, l)``: the minimum Euclidean distance
+    between the POI location and any point on the segment.
+    """
+    t = project_onto_segment(px, py, ax, ay, bx, by)
+    cx = ax + t * (bx - ax)
+    cy = ay + t * (by - ay)
+    return math.hypot(px - cx, py - cy)
+
+
+def points_segment_distance(
+    xs: np.ndarray, ys: np.ndarray,
+    ax: float, ay: float, bx: float, by: float,
+) -> np.ndarray:
+    """Vectorised :func:`point_segment_distance` for arrays of points.
+
+    ``xs`` and ``ys`` are 1-D arrays of equal length; the result is the
+    array of distances from each ``(xs[i], ys[i])`` to segment ``a -> b``.
+    """
+    dx = bx - ax
+    dy = by - ay
+    denom = dx * dx + dy * dy
+    if denom == 0.0:
+        return np.hypot(xs - ax, ys - ay)
+    t = ((xs - ax) * dx + (ys - ay) * dy) / denom
+    np.clip(t, 0.0, 1.0, out=t)
+    cx = ax + t * dx
+    cy = ay + t * dy
+    return np.hypot(xs - cx, ys - cy)
+
+
+def point_bbox_mindist(px: float, py: float, box: BBox) -> float:
+    """Minimum distance from a point to a closed box (0 if inside)."""
+    dx = max(box.min_x - px, 0.0, px - box.max_x)
+    dy = max(box.min_y - py, 0.0, py - box.max_y)
+    return math.hypot(dx, dy)
+
+
+def point_bbox_maxdist(px: float, py: float, box: BBox) -> float:
+    """Maximum distance from a point to any point of a closed box.
+
+    Attained at the corner farthest from ``p``; used as the spatial
+    diversity upper bound ``maxdist(r, c)`` of Equation 16.
+    """
+    dx = max(px - box.min_x, box.max_x - px)
+    dy = max(py - box.min_y, box.max_y - py)
+    return math.hypot(dx, dy)
+
+
+def segment_segment_distance(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> float:
+    """Minimum distance between segments ``a-b`` and ``c-d``.
+
+    Zero when they intersect; otherwise the minimum over the four
+    endpoint-to-other-segment distances (which is exact for non-crossing
+    segments in the plane).
+    """
+    if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+        return 0.0
+    return min(
+        point_segment_distance(ax, ay, cx, cy, dx, dy),
+        point_segment_distance(bx, by, cx, cy, dx, dy),
+        point_segment_distance(cx, cy, ax, ay, bx, by),
+        point_segment_distance(dx, dy, ax, ay, bx, by),
+    )
+
+
+def segment_bbox_mindist(
+    ax: float, ay: float, bx: float, by: float, box: BBox
+) -> float:
+    """Minimum distance between segment ``a-b`` and a closed box.
+
+    Zero when the segment touches or crosses the box or an endpoint lies
+    inside it; otherwise the minimum distance to the four box edges.  This
+    is the predicate behind the ``eps``-augmented maps ``Leps(c)`` and
+    ``Ceps(l)`` of Section 3.2.1: a cell ``c`` can contain a POI within
+    ``eps`` of segment ``l`` only if ``segment_bbox_mindist(l, c) <= eps``.
+    """
+    if box.contains_point(ax, ay) or box.contains_point(bx, by):
+        return 0.0
+    p0, p1, p2, p3 = box.corners()
+    edges = ((p0, p1), (p1, p2), (p2, p3), (p3, p0))
+    best = math.inf
+    for (ex0, ey0), (ex1, ey1) in edges:
+        d = segment_segment_distance(ax, ay, bx, by, ex0, ey0, ex1, ey1)
+        if d == 0.0:
+            return 0.0
+        if d < best:
+            best = d
+    return best

@@ -1,0 +1,116 @@
+"""Planar geometric primitives.
+
+Coordinates are plain floats in an arbitrary planar unit.  Throughout the
+library (matching the paper's experiments) the unit is WGS84 degrees treated
+as planar, so ``0.0005`` corresponds to roughly 55 metres.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """An immutable 2-D point.
+
+    Being a :class:`~typing.NamedTuple`, a :class:`Point` unpacks as
+    ``x, y = p`` and compares by value, which the index layers rely on when
+    using points as dictionary keys.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+def segment_length(ax: float, ay: float, bx: float, by: float) -> float:
+    """Length of the segment with endpoints ``(ax, ay)`` and ``(bx, by)``.
+
+    Matches the paper's ``len(l)`` (Euclidean distance between endpoints).
+    """
+    return math.hypot(bx - ax, by - ay)
+
+
+def midpoint(ax: float, ay: float, bx: float, by: float) -> Point:
+    """Midpoint of the segment with endpoints ``(ax, ay)`` and ``(bx, by)``."""
+    return Point((ax + bx) / 2.0, (ay + by) / 2.0)
+
+
+def interpolate(
+    ax: float, ay: float, bx: float, by: float, t: float
+) -> Point:
+    """Point at parameter ``t`` in ``[0, 1]`` along the segment ``a -> b``.
+
+    ``t = 0`` yields ``a`` and ``t = 1`` yields ``b``; values outside the
+    range extrapolate along the supporting line.
+    """
+    return Point(ax + t * (bx - ax), ay + t * (by - ay))
+
+
+def project_onto_segment(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Clamped projection parameter of point ``p`` onto segment ``a -> b``.
+
+    Returns ``t`` in ``[0, 1]`` such that ``interpolate(a, b, t)`` is the
+    point of the segment closest to ``p``.  Degenerate (zero-length)
+    segments project everything onto ``t = 0``.
+    """
+    dx = bx - ax
+    dy = by - ay
+    denom = dx * dx + dy * dy
+    if denom == 0.0:
+        return 0.0
+    t = ((px - ax) * dx + (py - ay) * dy) / denom
+    if t < 0.0:
+        return 0.0
+    if t > 1.0:
+        return 1.0
+    return t
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """Whether segments ``a-b`` and ``c-d`` share at least one point.
+
+    Uses orientation tests with collinear special cases, so touching
+    endpoints and overlapping collinear segments count as intersecting.
+    """
+
+    def orient(ox: float, oy: float, px: float, py: float,
+               qx: float, qy: float) -> float:
+        return (px - ox) * (qy - oy) - (py - oy) * (qx - ox)
+
+    def on_span(ox: float, oy: float, px: float, py: float,
+                qx: float, qy: float) -> bool:
+        # q is known collinear with o-p; is it within the span?
+        return (min(ox, px) <= qx <= max(ox, px)
+                and min(oy, py) <= qy <= max(oy, py))
+
+    d1 = orient(ax, ay, bx, by, cx, cy)
+    d2 = orient(ax, ay, bx, by, dx, dy)
+    d3 = orient(cx, cy, dx, dy, ax, ay)
+    d4 = orient(cx, cy, dx, dy, bx, by)
+
+    if ((d1 > 0) != (d2 > 0) and d1 != 0 and d2 != 0
+            and (d3 > 0) != (d4 > 0) and d3 != 0 and d4 != 0):
+        return True
+    if d1 == 0 and on_span(ax, ay, bx, by, cx, cy):
+        return True
+    if d2 == 0 and on_span(ax, ay, bx, by, dx, dy):
+        return True
+    if d3 == 0 and on_span(cx, cy, dx, dy, ax, ay):
+        return True
+    if d4 == 0 and on_span(cx, cy, dx, dy, bx, by):
+        return True
+    return False

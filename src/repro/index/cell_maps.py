@@ -1,0 +1,111 @@
+"""Cell-to-segment and segment-to-cell maps with ``eps`` augmentation.
+
+Section 3.2.1 prescribes two offline maps — which grid cells each segment
+passes through, and which segments pass through each cell — that are
+*augmented* at query time, once ``eps`` is known, to cover everything
+within distance ``eps``:
+
+* ``C_eps(l)``: all cells whose rectangle is within ``eps`` of segment ``l``
+  (so every POI within ``eps`` of ``l`` lies in one of them);
+* ``L_eps(c)``: all segments within ``eps`` of cell ``c`` (the inverse map).
+
+Augmented maps are cached per ``eps`` value, since an interactive system
+serves many queries with the same threshold.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from repro.geometry.distance import segment_bbox_mindist
+from repro.index.grid import CellCoord, UniformGrid
+from repro.network.model import RoadNetwork
+
+
+class SegmentCellMaps:
+    """Base and ``eps``-augmented segment/cell adjacency for a network."""
+
+    def __init__(self, network: RoadNetwork, grid: UniformGrid) -> None:
+        self.network = network
+        self.grid = grid
+        self._base_segment_to_cells: dict[int, tuple[CellCoord, ...]] = {}
+        base_cell_to_segments: dict[CellCoord, list[int]] = defaultdict(list)
+        for seg in network.iter_segments():
+            cells = self._cells_within(seg.ax, seg.ay, seg.bx, seg.by, 0.0)
+            self._base_segment_to_cells[seg.id] = cells
+            for cell in cells:
+                base_cell_to_segments[cell].append(seg.id)
+        self._base_cell_to_segments: dict[CellCoord, tuple[int, ...]] = {
+            cell: tuple(sids) for cell, sids in base_cell_to_segments.items()}
+        self._augmented: dict[float, tuple[
+            dict[int, tuple[CellCoord, ...]],
+            dict[CellCoord, tuple[int, ...]]]] = {}
+
+    # -- base maps (eps = 0) --------------------------------------------------
+
+    def base_cells_of_segment(self, segment_id: int) -> Sequence[CellCoord]:
+        """Cells the segment intersects (the offline map)."""
+        return self._base_segment_to_cells[segment_id]
+
+    def base_segments_of_cell(self, cell: CellCoord) -> Sequence[int]:
+        """Segments intersecting the cell (the offline inverse map)."""
+        return self._base_cell_to_segments.get(cell, ())
+
+    # -- eps-augmented maps ------------------------------------------------------
+
+    def cells_of_segment(
+        self, segment_id: int, eps: float
+    ) -> Sequence[CellCoord]:
+        """``C_eps(l)``: cells within distance ``eps`` of the segment."""
+        seg_to_cells, _cell_to_segs = self._augmented_maps(eps)
+        return seg_to_cells[segment_id]
+
+    def segments_of_cell(self, cell: CellCoord, eps: float) -> Sequence[int]:
+        """``L_eps(c)``: segments within distance ``eps`` of the cell."""
+        _seg_to_cells, cell_to_segs = self._augmented_maps(eps)
+        return cell_to_segs.get(cell, ())
+
+    def augmented_cell_counts(self, eps: float) -> Mapping[int, int]:
+        """``|C_eps(l)|`` for every segment — the SL2 source-list weights."""
+        seg_to_cells, _unused = self._augmented_maps(eps)
+        return {sid: len(cells) for sid, cells in seg_to_cells.items()}
+
+    # -- internals ------------------------------------------------------------
+
+    def _augmented_maps(self, eps: float):
+        if eps < 0:
+            raise ValueError(f"eps must be non-negative, got {eps}")
+        cached = self._augmented.get(eps)
+        if cached is not None:
+            return cached
+        seg_to_cells: dict[int, tuple[CellCoord, ...]] = {}
+        cell_to_segs: dict[CellCoord, list[int]] = defaultdict(list)
+        for seg in self.network.iter_segments():
+            cells = self._cells_within(seg.ax, seg.ay, seg.bx, seg.by, eps)
+            seg_to_cells[seg.id] = cells
+            for cell in cells:
+                cell_to_segs[cell].append(seg.id)
+        result = (seg_to_cells,
+                  {cell: tuple(sids) for cell, sids in cell_to_segs.items()})
+        self._augmented[eps] = result
+        return result
+
+    def _cells_within(
+        self, ax: float, ay: float, bx: float, by: float, eps: float
+    ) -> tuple[CellCoord, ...]:
+        """Cells whose rectangle is within ``eps`` of segment ``a-b``.
+
+        Candidates come from the segment MBR expanded by ``eps`` (any closer
+        cell must intersect it); each candidate is confirmed with the exact
+        segment-to-box distance.
+        """
+        from repro.geometry.bbox import BBox
+
+        probe = BBox.of_segment(ax, ay, bx, by).expanded(eps)
+        out = []
+        for cell in self.grid.cells_in_bbox(probe):
+            box = self.grid.cell_bbox(cell)
+            if segment_bbox_mindist(ax, ay, bx, by, box) <= eps:
+                out.append(cell)
+        return tuple(out)

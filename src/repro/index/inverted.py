@@ -1,0 +1,129 @@
+"""Inverted indexes over keywords.
+
+Two flavours, matching Section 3.2.1:
+
+* :class:`CellInvertedIndex` -- the *local* index inside one grid cell: for
+  each keyword, the list of item positions (POIs or photos) carrying it,
+  sorted increasingly so multi-keyword queries can merge lists and count
+  each item once;
+* :class:`GlobalInvertedIndex` -- for each keyword, the list of
+  ``(cell, count)`` entries sorted decreasingly on count.  The SOI source
+  list SL1 is read straight out of this index.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from heapq import merge
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.index.grid import CellCoord
+
+
+class CellInvertedIndex:
+    """Keyword -> sorted item positions, within a single grid cell."""
+
+    __slots__ = ("_postings", "_num_items", "_keywords")
+
+    def __init__(self, items: Iterable[tuple[int, Iterable[str]]]) -> None:
+        """``items`` yields ``(position, keywords)`` pairs for the cell."""
+        postings: dict[str, list[int]] = defaultdict(list)
+        count = 0
+        for position, keywords in items:
+            count += 1
+            for keyword in keywords:
+                postings[keyword].append(position)
+        for lst in postings.values():
+            lst.sort()
+        self._postings: dict[str, tuple[int, ...]] = {
+            k: tuple(v) for k, v in postings.items()}
+        self._num_items = count
+        self._keywords = frozenset(self._postings)
+
+    def postings(self, keyword: str) -> Sequence[int]:
+        """Sorted positions of items carrying ``keyword`` (possibly empty)."""
+        return self._postings.get(keyword, ())
+
+    def count(self, keyword: str) -> int:
+        return len(self._postings.get(keyword, ()))
+
+    def matching_positions(self, keywords: Iterable[str]) -> Iterator[int]:
+        """Positions of items carrying *any* of the keywords, deduplicated.
+
+        Implements the synchronous traversal of the ``UpdateInterest``
+        procedure for multi-keyword queries: postings lists are sorted by
+        position, so a k-way merge with duplicate suppression counts each
+        item exactly once.
+        """
+        lists = [self._postings[k] for k in keywords if k in self._postings]
+        if not lists:
+            return
+        if len(lists) == 1:
+            yield from lists[0]
+            return
+        last = None
+        for position in merge(*lists):
+            if position != last:
+                yield position
+                last = position
+
+    @property
+    def keywords(self) -> frozenset[str]:
+        return self._keywords
+
+    @property
+    def num_items(self) -> int:
+        """Total number of items in the cell (``|P_c|`` in the paper)."""
+        return self._num_items
+
+
+class GlobalInvertedIndex:
+    """Keyword -> list of ``(cell, count)``, sorted decreasingly on count.
+
+    ``count`` is the number of items in the cell carrying the keyword
+    (``I[psi][c]`` in the paper).  Ties break on cell coordinates so the
+    ordering — and therefore every downstream experiment — is deterministic.
+    """
+
+    __slots__ = ("_entries", "_counts")
+
+    def __init__(
+        self, per_cell_counts: Mapping[str, Mapping[CellCoord, int]]
+    ) -> None:
+        self._entries: dict[str, tuple[tuple[CellCoord, int], ...]] = {}
+        self._counts: dict[str, dict[CellCoord, int]] = {}
+        for keyword, cell_counts in per_cell_counts.items():
+            ordered = sorted(cell_counts.items(),
+                             key=lambda item: (-item[1], item[0]))
+            self._entries[keyword] = tuple(ordered)
+            self._counts[keyword] = dict(cell_counts)
+
+    @classmethod
+    def from_cells(
+        cls, cells: Mapping[CellCoord, CellInvertedIndex]
+    ) -> "GlobalInvertedIndex":
+        """Aggregate the per-cell indexes into the global one."""
+        per_keyword: dict[str, dict[CellCoord, int]] = defaultdict(dict)
+        for cell, index in cells.items():
+            for keyword in index.keywords:
+                per_keyword[keyword][cell] = index.count(keyword)
+        return cls(per_keyword)
+
+    def entries(self, keyword: str) -> Sequence[tuple[CellCoord, int]]:
+        """``I[psi]``: cells with their counts, sorted decreasingly."""
+        return self._entries.get(keyword, ())
+
+    def count(self, keyword: str, cell: CellCoord) -> int:
+        """``I[psi][c]``: items in ``cell`` carrying ``keyword``."""
+        return self._counts.get(keyword, {}).get(cell, 0)
+
+    def cells_for(self, keywords: Iterable[str]) -> set[CellCoord]:
+        """All cells having an entry for at least one of the keywords."""
+        cells: set[CellCoord] = set()
+        for keyword in keywords:
+            cells.update(c for c, _count in self._entries.get(keyword, ()))
+        return cells
+
+    @property
+    def keywords(self) -> frozenset[str]:
+        return frozenset(self._entries)

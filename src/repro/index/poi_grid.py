@@ -1,0 +1,121 @@
+"""The combined POI index of Section 3.2.1.
+
+:class:`POIGridIndex` bundles the spatial grid, the per-cell local inverted
+indexes and the global inverted index.  It answers the two questions the
+SOI algorithm keeps asking:
+
+* "which POIs in cell ``c`` match any query keyword?" (exact, via the local
+  index merge), and
+* "at most how many POIs in cell ``c`` can match?" (the ``|P_Psi(c)|``
+  upper bound of Algorithm 1, line 2: ``min(|P_c|, sum_psi I[psi][c])``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.data.poi import POISet
+from repro.geometry.bbox import BBox
+from repro.index.grid import CellCoord, UniformGrid
+from repro.index.inverted import CellInvertedIndex, GlobalInvertedIndex
+
+
+class POIGridIndex:
+    """Grid + local inverted indexes + global inverted index over a POI set.
+
+    Parameters
+    ----------
+    pois:
+        The POI collection to index.
+    extent:
+        Grid extent; normally the road-network MBR (buffered by at least
+        ``eps`` so border POIs land in sensible cells).
+    cell_size:
+        Grid cell side ("arbitrary cell size" per the paper; the presets
+        default to ``2 * eps``).
+    """
+
+    def __init__(self, pois: POISet, extent: BBox, cell_size: float) -> None:
+        self.pois = pois
+        self.grid = UniformGrid(extent, cell_size)
+        per_cell: dict[CellCoord, list[int]] = defaultdict(list)
+        for position in range(len(pois)):
+            cell = self.grid.cell_of(float(pois.xs[position]),
+                                     float(pois.ys[position]))
+            per_cell[cell].append(position)
+        self._cell_positions: dict[CellCoord, np.ndarray] = {
+            cell: np.array(positions, dtype=np.intp)
+            for cell, positions in per_cell.items()}
+        self._cell_index: dict[CellCoord, CellInvertedIndex] = {
+            cell: CellInvertedIndex(
+                (pos, pois[pos].keywords) for pos in positions)
+            for cell, positions in per_cell.items()}
+        self.global_index = GlobalInvertedIndex.from_cells(self._cell_index)
+
+    # -- cell contents ------------------------------------------------------
+
+    def cell_positions(self, cell: CellCoord) -> np.ndarray:
+        """Positions of all POIs in the cell (empty array if none)."""
+        return self._cell_positions.get(
+            cell, np.empty(0, dtype=np.intp))
+
+    def cell_size_of(self, cell: CellCoord) -> int:
+        """``|P_c|``: total POIs in the cell."""
+        positions = self._cell_positions.get(cell)
+        return 0 if positions is None else len(positions)
+
+    def cell_inverted(self, cell: CellCoord) -> CellInvertedIndex | None:
+        """The cell's local inverted index, or ``None`` for empty cells."""
+        return self._cell_index.get(cell)
+
+    def occupied_cells(self) -> Iterator[CellCoord]:
+        """Cells containing at least one POI."""
+        return iter(self._cell_positions)
+
+    # -- query-side helpers -----------------------------------------------------
+
+    def relevant_positions_in_cell(
+        self, cell: CellCoord, keywords: Iterable[str]
+    ) -> np.ndarray:
+        """Positions of POIs in the cell matching *any* keyword (exact)."""
+        index = self._cell_index.get(cell)
+        if index is None:
+            return np.empty(0, dtype=np.intp)
+        return np.fromiter(index.matching_positions(keywords),
+                           dtype=np.intp)
+
+    def relevant_count_upper_bound(
+        self, cell: CellCoord, keywords: Iterable[str]
+    ) -> int:
+        """``|P_Psi(c)| = min(|P_c|, sum_psi I[psi][c])`` (Algorithm 1, l.2).
+
+        Exact for single-keyword queries; an upper bound when a POI matches
+        several query keywords.
+        """
+        total = self.cell_size_of(cell)
+        if total == 0:
+            return 0
+        summed = sum(self.global_index.count(k, cell) for k in set(keywords))
+        return min(total, summed)
+
+    def candidate_cells(self, keywords: Iterable[str]) -> set[CellCoord]:
+        """Cells that can contain at least one relevant POI."""
+        return self.global_index.cells_for(set(keywords))
+
+    def total_relevant(self, keywords: Iterable[str]) -> int:
+        """Exact number of POIs matching any of the keywords (Table 4)."""
+        query = frozenset(keywords)
+        total = 0
+        for cell in self.candidate_cells(query):
+            total += len(self.relevant_positions_in_cell(cell, query))
+        return total
+
+    def cell_bbox(self, cell: CellCoord) -> BBox:
+        return self.grid.cell_bbox(cell)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"POIGridIndex(pois={len(self.pois)}, "
+                f"occupied_cells={len(self._cell_positions)}, grid={self.grid!r})")

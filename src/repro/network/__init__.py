@@ -1,0 +1,27 @@
+"""Road network substrate.
+
+A road network (Section 3.1 of the paper) is a directed graph ``G = (V, L)``
+whose vertices are street intersections or breakpoints and whose links are
+straight street *segments*.  Segments are grouped into *streets*: named
+simple paths of consecutive segments, each segment belonging to exactly one
+street.
+
+* :mod:`repro.network.model` -- the immutable :class:`RoadNetwork` and its
+  record types :class:`Vertex`, :class:`Segment`, :class:`Street`;
+* :mod:`repro.network.builder` -- incremental, validating construction;
+* :mod:`repro.network.io` -- JSON round-trip serialisation.
+"""
+
+from repro.network.model import RoadNetwork, Segment, Street, Vertex
+from repro.network.builder import RoadNetworkBuilder
+from repro.network.io import load_network_json, save_network_json
+
+__all__ = [
+    "RoadNetwork",
+    "RoadNetworkBuilder",
+    "Segment",
+    "Street",
+    "Vertex",
+    "load_network_json",
+    "save_network_json",
+]

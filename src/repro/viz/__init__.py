@@ -1,0 +1,10 @@
+"""Terminal visualisation helpers.
+
+:mod:`repro.viz.ascii_map` renders a road network onto a character grid
+with selected streets highlighted — the textual analogue of the paper's
+map figures (Figure 1(b), Figure 2).
+"""
+
+from repro.viz.ascii_map import render_ascii_map
+
+__all__ = ["render_ascii_map"]

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    """A generated tenth-scale Vienna on disk."""
+    out = tmp_path_factory.mktemp("cli") / "vienna"
+    code = main(["generate", "--preset", "vienna", "--scale", "0.1",
+                 "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_writes_three_files(self, data_dir):
+        assert (data_dir / "network.json").exists()
+        assert (data_dir / "pois.json").exists()
+        assert (data_dir / "photos.json").exists()
+
+    def test_output_message(self, data_dir, capsys, tmp_path):
+        main(["generate", "--preset", "vienna", "--scale", "0.1",
+              "--out", str(tmp_path / "again")])
+        out = capsys.readouterr().out
+        assert "segments" in out and "POIs" in out
+
+
+class TestStats:
+    def test_prints_table(self, data_dir, capsys):
+        assert main(["stats", "--data", str(data_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        assert "photos" in out
+
+
+class TestSOI:
+    def test_query_prints_ranking(self, data_dir, capsys):
+        assert main(["soi", "--data", str(data_dir),
+                     "--keywords", "shop", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 SOIs" in out
+        assert "interest" in out
+
+    def test_unmatched_keywords_exit_1(self, data_dir, capsys):
+        assert main(["soi", "--data", str(data_dir),
+                     "--keywords", "warpdrive"]) == 1
+        assert "no street matches" in capsys.readouterr().out
+
+
+class TestDescribe:
+    def test_default_street_is_top_soi(self, data_dir, capsys):
+        assert main(["describe", "--data", str(data_dir),
+                     "--keywords", "shop", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "photo summary" in out
+
+    def test_explicit_street(self, data_dir, capsys):
+        # find a street with photos via the default path first
+        assert main(["describe", "--data", str(data_dir), "-k", "1"]) == 0
+
+    def test_unmatched_keywords_exit_1(self, data_dir, capsys):
+        assert main(["describe", "--data", str(data_dir),
+                     "--keywords", "warpdrive"]) == 1
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.core.aggregates` (street-interest alternatives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import (
+    StreetAggregate,
+    aggregate_street_interest,
+    rank_streets,
+)
+from repro.core.interest import buffer_area
+from repro.core.soi_baseline import BaselineSOI
+
+
+class TestAggregateValues:
+    def test_max_is_definition_3(self, cross_network):
+        interests = {0: 1.0, 1: 5.0, 2: 2.0, 3: 0.5, 4: 0.0}
+        main = cross_network.street_by_name("Main Street")
+        assert aggregate_street_interest(
+            cross_network, main.id, interests,
+            StreetAggregate.MAX, 0.1) == 5.0
+
+    def test_mean(self, cross_network):
+        interests = {0: 1.0, 1: 5.0, 2: 3.0, 3: 0.0, 4: 0.0}
+        main = cross_network.street_by_name("Main Street")
+        assert aggregate_street_interest(
+            cross_network, main.id, interests,
+            StreetAggregate.MEAN, 0.1) == pytest.approx(3.0)
+
+    def test_length_weighted(self, cross_network):
+        interests = {0: 2.0, 1: 4.0, 2: 6.0, 3: 0.0, 4: 0.0}
+        main = cross_network.street_by_name("Main Street")
+        segments = cross_network.segments_of_street(main.id)
+        expected = (sum(interests[s.id] * s.length for s in segments)
+                    / sum(s.length for s in segments))
+        assert aggregate_street_interest(
+            cross_network, main.id, interests,
+            StreetAggregate.LENGTH_WEIGHTED, 0.1) == pytest.approx(expected)
+
+    def test_total_density(self, cross_network):
+        eps = 0.1
+        interests = {0: 2.0, 1: 4.0, 2: 6.0, 3: 0.0, 4: 0.0}
+        main = cross_network.street_by_name("Main Street")
+        segments = cross_network.segments_of_street(main.id)
+        mass = sum(interests[s.id] * buffer_area(s.length, eps)
+                   for s in segments)
+        area = sum(buffer_area(s.length, eps) for s in segments)
+        assert aggregate_street_interest(
+            cross_network, main.id, interests,
+            StreetAggregate.TOTAL_DENSITY, eps) == pytest.approx(mass / area)
+
+    def test_max_dominates_other_aggregates(self, cross_network):
+        interests = {0: 1.0, 1: 5.0, 2: 2.0, 3: 3.0, 4: 1.0}
+        main = cross_network.street_by_name("Main Street")
+        max_value = aggregate_street_interest(
+            cross_network, main.id, interests, StreetAggregate.MAX, 0.1)
+        for aggregate in (StreetAggregate.MEAN,
+                          StreetAggregate.LENGTH_WEIGHTED,
+                          StreetAggregate.TOTAL_DENSITY):
+            assert aggregate_street_interest(
+                cross_network, main.id, interests, aggregate, 0.1) \
+                <= max_value + 1e-12
+
+
+class TestRankStreets:
+    def test_omits_zero_interest(self, cross_network):
+        interests = {0: 0.0, 1: 0.0, 2: 0.0, 3: 1.0, 4: 1.0}
+        ranked = rank_streets(cross_network, interests,
+                              StreetAggregate.MAX, 0.1, k=5)
+        cross = cross_network.street_by_name("Cross Street")
+        assert ranked == [(cross.id, 1.0)]
+
+    def test_ordering_descending(self, small_city, small_engine):
+        baseline = BaselineSOI(small_engine)
+        interests = baseline.all_segment_interests(["food"], eps=0.0005)
+        for aggregate in StreetAggregate:
+            ranked = rank_streets(small_city.network, interests,
+                                  aggregate, 0.0005, k=10)
+            values = [value for _sid, value in ranked]
+            assert values == sorted(values, reverse=True)
+
+
+class TestBaselineIntegration:
+    def test_default_equals_max(self, small_engine):
+        baseline = BaselineSOI(small_engine)
+        default = baseline.top_k(["shop"], k=5, eps=0.0005)
+        explicit = baseline.top_k(["shop"], k=5, eps=0.0005,
+                                  aggregate=StreetAggregate.MAX)
+        assert [(r.street_id, r.interest) for r in default] == \
+            [(r.street_id, r.interest) for r in explicit]
+
+    @pytest.mark.parametrize("aggregate", list(StreetAggregate))
+    def test_all_aggregates_produce_valid_rankings(self, small_engine,
+                                                   aggregate):
+        baseline = BaselineSOI(small_engine)
+        results = baseline.top_k(["food"], k=8, eps=0.0005,
+                                 aggregate=aggregate)
+        assert results
+        values = [r.interest for r in results]
+        assert values == sorted(values, reverse=True)
+        assert all(v > 0 for v in values)
+
+    def test_aggregates_disagree_on_ranking(self, small_engine):
+        """The choice matters: MAX and MEAN rank streets differently."""
+        baseline = BaselineSOI(small_engine)
+        by_max = [r.street_id for r in baseline.top_k(
+            ["food"], k=10, eps=0.0005, aggregate=StreetAggregate.MAX)]
+        by_mean = [r.street_id for r in baseline.top_k(
+            ["food"], k=10, eps=0.0005, aggregate=StreetAggregate.MEAN)]
+        assert by_max != by_mean

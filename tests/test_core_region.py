@@ -1,0 +1,79 @@
+"""Tests for :mod:`repro.core.region` (the related-work comparator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.region import RegionQuery
+from repro.core.soi import SOIEngine
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def region_query(cross_network, cross_pois):
+    engine = SOIEngine(cross_network, cross_pois, cell_size=0.2)
+    return RegionQuery(engine)
+
+
+class TestBestRegion:
+    def test_respects_length_budget(self, region_query, cross_network):
+        result = region_query.best_region(["shop"], max_length=2.0, eps=0.15)
+        assert result.total_length <= 2.0
+        assert result.total_length == pytest.approx(sum(
+            cross_network.segment(sid).length
+            for sid in result.segment_ids))
+
+    def test_region_is_connected(self, region_query, cross_network):
+        result = region_query.best_region(["shop"], max_length=3.0, eps=0.15)
+        assert len(result) >= 1
+        chosen = set(result.segment_ids)
+        # BFS over shared vertices must reach every chosen segment.
+        by_vertex = {}
+        for sid in chosen:
+            seg = cross_network.segment(sid)
+            by_vertex.setdefault(seg.u, set()).add(sid)
+            by_vertex.setdefault(seg.v, set()).add(sid)
+        start = next(iter(chosen))
+        reached = {start}
+        frontier = [start]
+        while frontier:
+            sid = frontier.pop()
+            seg = cross_network.segment(sid)
+            for vertex in (seg.u, seg.v):
+                for other in by_vertex.get(vertex, ()):
+                    if other in chosen and other not in reached:
+                        reached.add(other)
+                        frontier.append(other)
+        assert reached == chosen
+
+    def test_score_counts_relevant_pois(self, region_query):
+        # Large budget: region swallows everything reachable; its score
+        # is then the sum of per-segment masses of chosen segments.
+        result = region_query.best_region(["shop"], max_length=100.0,
+                                          eps=0.15)
+        assert result.total_score > 0
+
+    def test_budget_too_small_for_any_segment(self, region_query):
+        result = region_query.best_region(["shop"], max_length=1e-6,
+                                          eps=0.15)
+        assert len(result) == 0
+        assert result.total_score == 0.0
+
+    def test_invalid_budget(self, region_query):
+        with pytest.raises(QueryError):
+            region_query.best_region(["shop"], max_length=0.0)
+
+    def test_invalid_keywords(self, region_query):
+        with pytest.raises(QueryError):
+            region_query.best_region([], max_length=1.0)
+
+    def test_quantity_over_density_artefact(self, small_city, small_engine):
+        """The paper's Section 1 criticism: a region query attaches spur
+        segments to the dense street, while k-SOI ranks streets alone."""
+        region = RegionQuery(small_engine).best_region(
+            ["shop"], max_length=0.02, eps=0.0005)
+        streets = {small_city.network.segment(sid).street_id
+                   for sid in region.segment_ids}
+        # the region spans more than one street once the budget allows
+        assert len(region) > 1
+        assert len(streets) >= 1

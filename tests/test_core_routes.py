@@ -1,0 +1,56 @@
+"""Tests for :mod:`repro.core.routes` (the future-work extension)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.routes import Route, recommend_route
+from repro.errors import QueryError
+
+
+class TestRecommendRoute:
+    def test_visits_all_streets(self, small_city, small_engine):
+        results = small_engine.top_k(["shop"], k=4, eps=0.0005)
+        route = recommend_route(small_city.network, results)
+        assert set(route.visited_street_ids) == \
+            {r.street_id for r in results}
+
+    def test_route_is_walkable(self, small_city, small_engine):
+        """Consecutive route vertices must share a network edge."""
+        results = small_engine.top_k(["food"], k=3, eps=0.0005)
+        route = recommend_route(small_city.network, results)
+        graph = small_city.network.as_networkx()
+        for u, v in zip(route.vertex_ids, route.vertex_ids[1:]):
+            assert graph.has_edge(u, v), f"no edge between {u} and {v}"
+
+    def test_total_length_matches_edges(self, small_city, small_engine):
+        results = small_engine.top_k(["shop"], k=3, eps=0.0005)
+        route = recommend_route(small_city.network, results)
+        graph = small_city.network.as_networkx()
+        walked = sum(graph.edges[u, v]["length"]
+                     for u, v in zip(route.vertex_ids, route.vertex_ids[1:]))
+        assert route.total_length == pytest.approx(walked)
+
+    def test_explicit_start_vertex(self, small_city, small_engine):
+        results = small_engine.top_k(["shop"], k=2, eps=0.0005)
+        start = next(iter(small_city.network.vertices))
+        route = recommend_route(small_city.network, results,
+                                start_vertex=start)
+        assert route.vertex_ids[0] == start
+
+    def test_unknown_start_vertex(self, small_city, small_engine):
+        results = small_engine.top_k(["shop"], k=1, eps=0.0005)
+        with pytest.raises(QueryError):
+            recommend_route(small_city.network, results, start_vertex=-99)
+
+    def test_empty_results(self, small_city):
+        with pytest.raises(QueryError):
+            recommend_route(small_city.network, [])
+
+    def test_single_street_route(self, small_city, small_engine):
+        results = small_engine.top_k(["shop"], k=1, eps=0.0005)
+        route = recommend_route(small_city.network, results)
+        assert isinstance(route, Route)
+        assert route.visited_street_ids == (results[0].street_id,)
+        assert route.total_length == 0.0

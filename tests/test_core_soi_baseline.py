@@ -1,0 +1,53 @@
+"""Tests for :mod:`repro.core.soi_baseline`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interest import (
+    segment_interest,
+    segment_mass_bruteforce,
+)
+from repro.core.soi import SOIEngine
+from repro.core.soi_baseline import BaselineSOI
+from repro.errors import QueryError
+
+
+class TestAllSegmentInterests:
+    def test_matches_bruteforce(self, cross_network, cross_pois):
+        engine = SOIEngine(cross_network, cross_pois, cell_size=0.2)
+        baseline = BaselineSOI(engine)
+        interests = baseline.all_segment_interests(["shop"], eps=0.15)
+        assert set(interests) == set(cross_network.segments)
+        for sid, value in interests.items():
+            seg = cross_network.segment(sid)
+            mass = segment_mass_bruteforce(
+                seg, cross_pois, frozenset({"shop"}), 0.15)
+            assert value == pytest.approx(
+                segment_interest(mass, seg.length, 0.15))
+
+    def test_covers_every_segment(self, small_city, small_engine):
+        baseline = BaselineSOI(small_engine)
+        interests = baseline.all_segment_interests(["food"], eps=0.0005)
+        assert len(interests) == len(small_city.network.segments)
+
+
+class TestTopK:
+    def test_respects_k(self, small_engine):
+        baseline = BaselineSOI(small_engine)
+        assert len(baseline.top_k(["food"], k=3, eps=0.0005)) == 3
+
+    def test_omits_zero_interest(self, small_engine):
+        baseline = BaselineSOI(small_engine)
+        results = baseline.top_k(["religion"], k=1000, eps=0.0005)
+        assert all(r.interest > 0 for r in results)
+
+    def test_ordering(self, small_engine):
+        baseline = BaselineSOI(small_engine)
+        results = baseline.top_k(["food"], k=10, eps=0.0005)
+        values = [r.interest for r in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_query(self, small_engine):
+        with pytest.raises(QueryError):
+            BaselineSOI(small_engine).top_k([], k=3)

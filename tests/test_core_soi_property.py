@@ -1,0 +1,71 @@
+"""Property-based equivalence: SOI == exhaustive evaluation.
+
+Hypothesis generates small road networks and POI sets; for every query the
+SOI algorithm must return the same interest values as the brute-force
+reference (Definitions 1-3 computed with full scans), with streets
+matching above the k-th-value tie boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.soi import AccessStrategy, SOIEngine
+from repro.core.soi_baseline import BaselineSOI
+
+from tests.conftest import random_networks, random_pois
+from tests.test_core_soi import assert_topk_equivalent, brute_force_topk
+
+
+@given(network=random_networks(),
+       pois=random_pois(min_size=1, max_size=25),
+       k=st.integers(min_value=1, max_value=6),
+       eps=st.sampled_from([0.0004, 0.001, 0.002]),
+       keywords=st.lists(st.sampled_from(["shop", "food", "bar", "art"]),
+                         min_size=1, max_size=3, unique=True))
+@settings(max_examples=60)
+def test_soi_equals_bruteforce(network, pois, k, eps, keywords):
+    engine = SOIEngine(network, pois, cell_size=0.0015)
+    results = engine.top_k(keywords, k=k, eps=eps)
+    expected = brute_force_topk(network, pois, keywords, k, eps)
+    got = [r.interest for r in results]
+    want = [interest for interest, _sid in expected]
+    assert got == pytest.approx(want)
+    if want:
+        boundary = want[-1]
+        got_ids = {r.street_id for r in results
+                   if r.interest > boundary + 1e-9}
+        want_ids = {sid for interest, sid in expected
+                    if interest > boundary + 1e-9}
+        assert got_ids == want_ids
+
+
+@given(network=random_networks(),
+       pois=random_pois(min_size=1, max_size=25),
+       strategy=st.sampled_from(list(AccessStrategy)),
+       prune=st.booleans())
+@settings(max_examples=40)
+def test_soi_options_agree_with_baseline(network, pois, strategy, prune):
+    engine = SOIEngine(network, pois, cell_size=0.0015)
+    baseline = BaselineSOI(engine).top_k(["shop", "food"], k=4, eps=0.001)
+    results = engine.top_k(["shop", "food"], k=4, eps=0.001,
+                           strategy=strategy, prune_refinement=prune)
+    assert_topk_equivalent(results, baseline)
+
+
+@given(network=random_networks(), pois=random_pois(max_size=20))
+@settings(max_examples=30)
+def test_weighted_soi_equals_weighted_bruteforce(network, pois):
+    # Re-weight POIs deterministically by position so weights vary.
+    from repro.data.poi import POI, POISet
+
+    weighted = POISet([
+        POI(p.id, p.x, p.y, p.keywords, weight=1.0 + (i % 3))
+        for i, p in enumerate(pois)])
+    engine = SOIEngine(network, weighted, cell_size=0.0015)
+    results = engine.top_k(["shop"], k=3, eps=0.001, weighted=True)
+    expected = brute_force_topk(network, weighted, ["shop"], 3, 0.001,
+                                weighted=True)
+    assert [r.interest for r in results] == pytest.approx(
+        [interest for interest, _sid in expected])

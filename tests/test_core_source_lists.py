@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.core.source_lists`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.source_lists import CellSourceList, SegmentSourceList
+
+
+class TestCellSourceList:
+    def test_pop_order_count_descending(self):
+        sl1 = CellSourceList([((0, 0), 3), ((1, 1), 9), ((2, 2), 5)])
+        assert sl1.pop() == (1, 1)
+        assert sl1.pop() == (2, 2)
+        assert sl1.pop() == (0, 0)
+        assert sl1.pop() is None
+
+    def test_tie_breaks_on_coordinates(self):
+        sl1 = CellSourceList([((5, 5), 2), ((1, 1), 2)])
+        assert sl1.pop() == (1, 1)
+
+    def test_top_tracks_next_entry(self):
+        sl1 = CellSourceList([((0, 0), 3), ((1, 1), 9)])
+        assert sl1.top() == 9
+        sl1.pop()
+        assert sl1.top() == 3
+        sl1.pop()
+        assert sl1.top() == 0
+        assert sl1.exhausted
+
+    def test_empty_list(self):
+        sl1 = CellSourceList([])
+        assert sl1.top() == 0
+        assert sl1.pop() is None
+        assert len(sl1) == 0
+
+
+class TestSegmentSourceList:
+    def _make(self, descending: bool, final: set[int], seen: set[int]):
+        entries = [(0, 5.0), (1, 1.0), (2, 3.0), (3, 4.0)]
+        return SegmentSourceList(entries, descending,
+                                 is_final=lambda sid: sid in final,
+                                 is_seen=lambda sid: sid in seen)
+
+    def test_pop_descending(self):
+        sl = self._make(True, set(), set())
+        assert [sl.pop() for _ in range(5)] == [0, 3, 2, 1, None]
+
+    def test_pop_ascending(self):
+        sl = self._make(False, set(), set())
+        assert [sl.pop() for _ in range(5)] == [1, 2, 3, 0, None]
+
+    def test_pop_skips_final_segments(self):
+        final = {0, 2}
+        sl = self._make(True, final, set())
+        assert sl.pop() == 3
+        final.add(1)
+        assert sl.pop() is None
+
+    def test_top_skips_seen_segments(self):
+        seen = set()
+        sl = self._make(True, set(), seen)
+        assert sl.top() == 5.0
+        seen.add(0)
+        assert sl.top() == 4.0
+        seen.update({3, 2, 1})
+        assert sl.top() is None
+
+    def test_top_and_pop_independent(self):
+        seen = set()
+        final = set()
+        sl = self._make(False, final, seen)
+        # A segment seen (but not final) is skipped by top but returned
+        # by pop (accessing it finalises it).
+        seen.add(1)
+        assert sl.top() == 3.0
+        assert sl.pop() == 1
+
+    def test_exhausted_property(self):
+        final = set()
+        sl = self._make(True, final, set())
+        assert not sl.exhausted
+        final.update({0, 1, 2, 3})
+        assert sl.exhausted
+        assert sl.pop() is None
+
+    def test_ties_break_on_id(self):
+        sl = SegmentSourceList([(7, 2.0), (3, 2.0)], descending=True,
+                               is_final=lambda s: False,
+                               is_seen=lambda s: False)
+        assert sl.pop() == 3
+
+    def test_presorted_entries_respected(self):
+        entries = ((2, 9.0), (0, 1.0))  # deliberately "wrong" order
+        sl = SegmentSourceList(entries, descending=False,
+                               is_final=lambda s: False,
+                               is_seen=lambda s: False, presorted=True)
+        assert sl.pop() == 2  # presorted order kept verbatim

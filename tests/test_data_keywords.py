@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.data.keywords`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.keywords import (
+    KeywordFrequencyVector,
+    normalize_keyword,
+    normalize_keywords,
+    tokenize,
+)
+
+
+class TestNormalize:
+    def test_lowercases_and_strips(self):
+        assert normalize_keyword("  Shop ") == "shop"
+
+    def test_empty(self):
+        assert normalize_keyword("   ") == ""
+
+    def test_set_normalisation_drops_empties(self):
+        assert normalize_keywords(["Shop", "shop", "  ", "Food"]) == \
+            frozenset({"shop", "food"})
+
+
+class TestTokenize:
+    def test_splits_on_punctuation(self):
+        assert tokenize("St. Paul's Cathedral!") == ["st", "paul's",
+                                                     "cathedral"]
+
+    def test_keeps_numbers_and_hyphens(self):
+        assert tokenize("Route-66 cafe 24h") == ["route-66", "cafe", "24h"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+
+class TestKeywordFrequencyVector:
+    def test_lookup_and_support(self):
+        phi = KeywordFrequencyVector({"shop": 3.0, "food": 1.0})
+        assert phi["shop"] == 3.0
+        assert phi["unknown"] == 0.0
+        assert phi.support == frozenset({"shop", "food"})
+        assert "shop" in phi
+        assert len(phi) == 2
+
+    def test_norm1(self):
+        phi = KeywordFrequencyVector({"a": 3.0, "b": 1.0})
+        assert phi.norm1 == 4.0
+
+    def test_zero_frequencies_dropped(self):
+        phi = KeywordFrequencyVector({"a": 0.0, "b": 2.0})
+        assert "a" not in phi
+        assert len(phi) == 1
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(ValueError):
+            KeywordFrequencyVector({"a": -1.0})
+
+    def test_case_insensitive_merge(self):
+        phi = KeywordFrequencyVector({"Shop": 1.0, "shop": 2.0})
+        assert phi["shop"] == 3.0
+
+    def test_from_keyword_sets_counts_occurrences(self):
+        phi = KeywordFrequencyVector.from_keyword_sets([
+            {"shop", "food"}, {"shop"}, {"bar"}])
+        assert phi["shop"] == 2
+        assert phi["food"] == 1
+        assert phi["bar"] == 1
+        assert phi.norm1 == 4
+
+    def test_weight_of_set_equation8_numerator(self):
+        phi = KeywordFrequencyVector({"a": 2.0, "b": 1.0, "c": 5.0})
+        assert phi.weight_of_set({"a", "c", "zzz"}) == 7.0
+
+    def test_weight_of_set_deduplicates(self):
+        phi = KeywordFrequencyVector({"a": 2.0})
+        assert phi.weight_of_set(["a", "a", "A"]) == 2.0
+
+    def test_sorted_by_frequency(self):
+        phi = KeywordFrequencyVector({"a": 1.0, "b": 3.0, "c": 2.0})
+        assert phi.sorted_by_frequency() == [("b", 3.0), ("c", 2.0),
+                                             ("a", 1.0)]
+        assert phi.sorted_by_frequency(descending=False) == [
+            ("a", 1.0), ("c", 2.0), ("b", 3.0)]
+
+    def test_sorted_ties_break_lexicographically(self):
+        phi = KeywordFrequencyVector({"z": 1.0, "a": 1.0})
+        assert phi.sorted_by_frequency() == [("a", 1.0), ("z", 1.0)]
+
+    def test_equality(self):
+        assert KeywordFrequencyVector({"a": 1.0}) == \
+            KeywordFrequencyVector({"a": 1.0})
+        assert KeywordFrequencyVector({"a": 1.0}) != \
+            KeywordFrequencyVector({"a": 2.0})
+
+    def test_as_dict_is_copy(self):
+        phi = KeywordFrequencyVector({"a": 1.0})
+        d = phi.as_dict()
+        d["a"] = 99.0
+        assert phi["a"] == 1.0
+
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(min_value=0, max_value=100), max_size=4))
+    def test_norm1_is_sum_of_support(self, freqs):
+        phi = KeywordFrequencyVector(freqs)
+        assert phi.norm1 == pytest.approx(
+            sum(phi[k] for k in phi.support))

@@ -1,0 +1,58 @@
+"""Tests for :mod:`repro.data.photo`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.photo import Photo, PhotoSet
+from repro.errors import DataError
+
+
+class TestPhoto:
+    def test_keywords_normalised(self):
+        photo = Photo(0, 0.0, 0.0, frozenset({" Sunset", "RIVER "}))
+        assert photo.keywords == frozenset({"sunset", "river"})
+
+    def test_distance_to(self):
+        a = Photo(0, 0.0, 0.0)
+        b = Photo(1, 3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_empty_tags_allowed(self):
+        assert Photo(0, 0, 0).keywords == frozenset()
+
+
+class TestPhotoSet:
+    def _sample(self) -> PhotoSet:
+        return PhotoSet([
+            Photo(5, 0.0, 0.0, frozenset({"a"})),
+            Photo(6, 1.0, 0.0, frozenset({"b", "c"})),
+            Photo(7, 0.0, 1.0, frozenset()),
+        ])
+
+    def test_container_protocol(self):
+        photos = self._sample()
+        assert len(photos) == 3
+        assert [p.id for p in photos] == [5, 6, 7]
+        assert photos[2].id == 7
+        assert photos.by_id(6).keywords == frozenset({"b", "c"})
+        assert photos.position_of(7) == 2
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(DataError, match="duplicate"):
+            PhotoSet([Photo(1, 0, 0), Photo(1, 1, 1)])
+
+    def test_subset_preserves_order(self):
+        photos = self._sample()
+        sub = photos.subset([2, 0])
+        assert [p.id for p in sub] == [7, 5]
+        assert sub.xs.tolist() == [0.0, 0.0]
+        assert sub.ys.tolist() == [1.0, 0.0]
+
+    def test_vocabulary(self):
+        assert self._sample().vocabulary() == frozenset({"a", "b", "c"})
+
+    def test_empty(self):
+        photos = PhotoSet([])
+        assert len(photos) == 0
+        assert photos.vocabulary() == frozenset()

@@ -1,0 +1,79 @@
+"""Tests for :mod:`repro.data.poi` (and, by symmetry, the POISet columns)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.poi import POI, POISet
+from repro.errors import DataError
+
+
+class TestPOI:
+    def test_keywords_normalised(self):
+        poi = POI(0, 1.0, 2.0, frozenset({" Shop ", "FOOD"}))
+        assert poi.keywords == frozenset({"shop", "food"})
+
+    def test_matches_any_keyword(self):
+        poi = POI(0, 0, 0, frozenset({"shop", "mall"}))
+        assert poi.matches(frozenset({"mall", "zoo"}))
+        assert not poi.matches(frozenset({"zoo"}))
+        assert not poi.matches(frozenset())
+
+    def test_default_weight(self):
+        assert POI(0, 0, 0).weight == 1.0
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(DataError):
+            POI(0, 0, 0, weight=-0.1)
+
+
+class TestPOISet:
+    def _sample(self) -> POISet:
+        return POISet([
+            POI(10, 0.0, 0.0, frozenset({"shop"})),
+            POI(20, 1.0, 1.0, frozenset({"food"}), weight=2.0),
+            POI(30, 2.0, 0.5, frozenset({"shop", "food"})),
+        ])
+
+    def test_len_and_iter(self):
+        pois = self._sample()
+        assert len(pois) == 3
+        assert [p.id for p in pois] == [10, 20, 30]
+
+    def test_columns_aligned_with_positions(self):
+        pois = self._sample()
+        assert pois.xs.tolist() == [0.0, 1.0, 2.0]
+        assert pois.ys.tolist() == [0.0, 1.0, 0.5]
+        assert pois.weights.tolist() == [1.0, 2.0, 1.0]
+
+    def test_position_and_id_lookup(self):
+        pois = self._sample()
+        assert pois.position_of(20) == 1
+        assert pois.by_id(20).weight == 2.0
+        assert pois[1].id == 20
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(DataError, match="duplicate"):
+            POISet([POI(1, 0, 0), POI(1, 1, 1)])
+
+    def test_relevant_positions(self):
+        pois = self._sample()
+        assert pois.relevant_positions(["shop"]) == [0, 2]
+        assert pois.relevant_positions(["food"]) == [1, 2]
+        assert pois.relevant_positions(["zoo"]) == []
+
+    def test_vocabulary(self):
+        assert self._sample().vocabulary() == frozenset({"shop", "food"})
+
+    def test_empty_set(self):
+        pois = POISet([])
+        assert len(pois) == 0
+        assert pois.xs.shape == (0,)
+        assert pois.relevant_positions(["shop"]) == []
+        assert pois.vocabulary() == frozenset()
+
+    def test_columns_are_float64(self):
+        pois = self._sample()
+        assert pois.xs.dtype == np.float64
+        assert pois.weights.dtype == np.float64

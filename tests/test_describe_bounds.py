@@ -1,0 +1,131 @@
+"""Validity of the Section 4.2.2 cell bounds (Equations 11-18).
+
+The single property that makes ST_Rel+Div exact is: for every cell ``c``
+and every photo ``r'`` in ``c``, each lower/upper bound pair brackets the
+exact measure.  These tests check all four pairs — and the combined
+``mmr`` bounds — on both crafted and Hypothesis-generated photo sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.describe.bounds import CellBoundsContext
+from repro.core.describe.measures import (
+    mmr_value,
+    spatial_div,
+    textual_div,
+)
+from repro.core.describe.profile import StreetProfile
+from repro.data.keywords import KeywordFrequencyVector
+from repro.data.photo import Photo, PhotoSet
+from repro.geometry.bbox import BBox
+from repro.index.photo_grid import PhotoGridIndex
+
+from tests.conftest import random_photos
+
+TOL = 1e-9
+
+
+def _context(photos: PhotoSet, rho: float = 0.004) -> tuple[
+        StreetProfile, PhotoGridIndex, CellBoundsContext]:
+    extent = BBox(-0.005, -0.005, 0.025, 0.025)
+    phi = KeywordFrequencyVector.from_keyword_sets(
+        p.keywords for p in photos)
+    profile = StreetProfile(photos=photos, phi=phi,
+                            max_d=extent.diagonal, extent=extent, rho=rho)
+    index = PhotoGridIndex(photos, extent, rho)
+    return profile, index, CellBoundsContext(profile, index)
+
+
+class TestRelevanceBounds:
+    @given(random_photos(min_size=2, max_size=30))
+    def test_spatial_relevance_bracketed(self, photos):
+        profile, index, ctx = _context(photos)
+        for cell in index.cells():
+            bounds = ctx.relevance_bounds(cell)
+            for pos in cell.positions:
+                exact = float(profile.spatial_rel[pos])
+                assert bounds.spatial_lo - TOL <= exact <= \
+                    bounds.spatial_hi + TOL
+
+    @given(random_photos(min_size=2, max_size=30))
+    def test_textual_relevance_bracketed(self, photos):
+        profile, index, ctx = _context(photos)
+        for cell in index.cells():
+            bounds = ctx.relevance_bounds(cell)
+            for pos in cell.positions:
+                exact = float(profile.textual_rel[pos])
+                assert bounds.textual_lo - TOL <= exact <= \
+                    bounds.textual_hi + TOL
+
+    def test_relevance_bounds_cached(self):
+        photos = PhotoSet([Photo(0, 0.001, 0.001, frozenset({"a"}))])
+        _profile, index, ctx = _context(photos)
+        cell = next(index.cells())
+        assert ctx.relevance_bounds(cell) is ctx.relevance_bounds(cell)
+
+
+class TestDiversityBounds:
+    @given(random_photos(min_size=2, max_size=25))
+    def test_spatial_diversity_bracketed(self, photos):
+        profile, index, ctx = _context(photos)
+        reference = 0
+        for cell in index.cells():
+            lo, hi = ctx.spatial_div_bounds(cell, reference)
+            for pos in cell.positions:
+                exact = spatial_div(profile, pos, reference)
+                assert lo - TOL <= exact <= hi + TOL
+
+    @given(random_photos(min_size=2, max_size=25))
+    def test_textual_diversity_bracketed(self, photos):
+        profile, index, ctx = _context(photos)
+        for reference in range(min(3, len(photos))):
+            for cell in index.cells():
+                lo, hi = ctx.textual_div_bounds(cell, reference)
+                for pos in cell.positions:
+                    exact = textual_div(profile, pos, reference)
+                    assert lo - TOL <= exact <= hi + TOL, (
+                        f"cell={cell.coord} pos={pos} ref={reference} "
+                        f"exact={exact} bounds=({lo}, {hi})")
+
+    def test_textual_bounds_with_empty_tag_sets(self):
+        photos = PhotoSet([
+            Photo(0, 0.001, 0.001, frozenset()),
+            Photo(1, 0.0012, 0.0011, frozenset()),
+            Photo(2, 0.0011, 0.0012, frozenset({"a", "b"})),
+        ])
+        profile, index, ctx = _context(photos)
+        for reference in range(3):
+            for cell in index.cells():
+                lo, hi = ctx.textual_div_bounds(cell, reference)
+                for pos in cell.positions:
+                    exact = textual_div(profile, pos, reference)
+                    assert lo - TOL <= exact <= hi + TOL
+
+
+class TestMMRBounds:
+    @given(random_photos(min_size=3, max_size=25),
+           st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=1))
+    def test_mmr_bracketed(self, photos, lam, w):
+        profile, index, ctx = _context(photos)
+        selected = [0, min(1, len(photos) - 1)]
+        k = 5
+        for cell in index.cells():
+            lo, hi = ctx.mmr_bounds(cell, selected, lam, w, k)
+            for pos in cell.positions:
+                if pos in selected:
+                    continue
+                exact = mmr_value(profile, pos, selected, lam, w, k)
+                assert lo - TOL <= exact <= hi + TOL
+
+    @given(random_photos(min_size=1, max_size=20))
+    def test_mmr_bounds_empty_selection(self, photos):
+        profile, index, ctx = _context(photos)
+        for cell in index.cells():
+            lo, hi = ctx.mmr_bounds(cell, [], 0.5, 0.5, 3)
+            for pos in cell.positions:
+                exact = mmr_value(profile, pos, [], 0.5, 0.5, 3)
+                assert lo - TOL <= exact <= hi + TOL

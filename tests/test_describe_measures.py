@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.core.describe.measures` (Definitions 4-7, Eqs 2-10)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.describe.measures import (
+    jaccard_distance,
+    mmr_value,
+    objective_value,
+    pair_div,
+    photo_rel,
+    set_diversity,
+    set_relevance,
+    spatial_div,
+    textual_div,
+)
+from repro.core.describe.profile import StreetProfile
+from repro.data.keywords import KeywordFrequencyVector
+from repro.data.photo import Photo, PhotoSet
+from repro.geometry.bbox import BBox
+
+
+@pytest.fixture()
+def profile() -> StreetProfile:
+    photos = PhotoSet([
+        Photo(0, 0.0, 0.0, frozenset({"a", "b"})),
+        Photo(1, 3.0, 4.0, frozenset({"a"})),
+        Photo(2, 0.0, 5.0, frozenset({"c"})),
+        Photo(3, 1.0, 1.0, frozenset()),
+    ])
+    return StreetProfile(
+        photos=photos,
+        phi=KeywordFrequencyVector({"a": 2.0, "b": 1.0, "c": 1.0}),
+        max_d=10.0,
+        extent=BBox(0, 0, 5, 5),
+        rho=2.0)
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard_distance(frozenset({"a"}), frozenset({"b"})) == 1.0
+
+    def test_identical(self):
+        assert jaccard_distance(frozenset({"a", "b"}),
+                                frozenset({"a", "b"})) == 0.0
+
+    def test_partial(self):
+        assert jaccard_distance(frozenset({"a", "b"}),
+                                frozenset({"b", "c"})) == pytest.approx(2 / 3)
+
+    def test_both_empty(self):
+        assert jaccard_distance(frozenset(), frozenset()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard_distance(frozenset({"a"}), frozenset()) == 1.0
+
+    @given(st.frozensets(st.sampled_from("abcd")),
+           st.frozensets(st.sampled_from("abcd")))
+    def test_metric_range_and_symmetry(self, a, b):
+        d = jaccard_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == jaccard_distance(b, a)
+
+
+class TestPairwise:
+    def test_spatial_div_normalised(self, profile):
+        assert spatial_div(profile, 0, 1) == pytest.approx(0.5)  # 5 / 10
+
+    def test_textual_div(self, profile):
+        assert textual_div(profile, 0, 1) == pytest.approx(0.5)
+
+    def test_pair_div_weighting(self, profile):
+        full = pair_div(profile, 0, 1, w=0.5)
+        assert full == pytest.approx(0.5 * 0.5 + 0.5 * 0.5)
+        assert pair_div(profile, 0, 1, w=1.0) == pytest.approx(0.5)
+        assert pair_div(profile, 0, 1, w=0.0) == pytest.approx(0.5)
+
+
+class TestSetMeasures:
+    def test_set_relevance_is_mean(self, profile):
+        positions = [0, 1]
+        expected = (photo_rel(profile, 0, 0.5)
+                    + photo_rel(profile, 1, 0.5)) / 2
+        assert set_relevance(profile, positions, 0.5) == pytest.approx(
+            expected)
+
+    def test_set_relevance_empty(self, profile):
+        assert set_relevance(profile, [], 0.5) == 0.0
+
+    def test_set_diversity_is_mean_pairwise(self, profile):
+        positions = [0, 1, 2]
+        total = sum(pair_div(profile, a, b, 0.5)
+                    for a, b in [(0, 1), (0, 2), (1, 2)])
+        assert set_diversity(profile, positions, 0.5) == pytest.approx(
+            total / 3)
+
+    def test_set_diversity_singleton_zero(self, profile):
+        assert set_diversity(profile, [0], 0.5) == 0.0
+
+    def test_objective_combination(self, profile):
+        positions = [0, 1]
+        lam, w = 0.3, 0.7
+        assert objective_value(profile, positions, lam, w) == pytest.approx(
+            (1 - lam) * set_relevance(profile, positions, w)
+            + lam * set_diversity(profile, positions, w))
+
+    def test_objective_pure_relevance(self, profile):
+        assert objective_value(profile, [0, 1], 0.0, 0.5) == pytest.approx(
+            set_relevance(profile, [0, 1], 0.5))
+
+    def test_objective_pure_diversity(self, profile):
+        assert objective_value(profile, [0, 1], 1.0, 0.5) == pytest.approx(
+            set_diversity(profile, [0, 1], 0.5))
+
+
+class TestMMR:
+    def test_empty_selection_is_scaled_relevance(self, profile):
+        assert mmr_value(profile, 0, [], 0.4, 0.5, 3) == pytest.approx(
+            0.6 * photo_rel(profile, 0, 0.5))
+
+    def test_equation_10(self, profile):
+        lam, w, k = 0.5, 0.5, 3
+        selected = [1, 2]
+        div_sum = (pair_div(profile, 0, 1, w)
+                   + pair_div(profile, 0, 2, w))
+        expected = (1 - lam) * photo_rel(profile, 0, w) \
+            + lam / (k - 1) * div_sum
+        assert mmr_value(profile, 0, selected, lam, w, k) == pytest.approx(
+            expected)
+
+    def test_k_equals_one_degenerates_to_relevance(self, profile):
+        assert mmr_value(profile, 0, [1], 0.5, 0.5, 1) == pytest.approx(
+            0.5 * photo_rel(profile, 0, 0.5))
+
+    def test_lambda_zero_ignores_selection(self, profile):
+        assert mmr_value(profile, 0, [1, 2], 0.0, 0.5, 3) == pytest.approx(
+            photo_rel(profile, 0, 0.5))

@@ -1,0 +1,117 @@
+"""Tests for :mod:`repro.core.describe.profile`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.describe.profile import (
+    StreetProfile,
+    build_street_profile,
+    photos_near_street,
+)
+from repro.data.keywords import KeywordFrequencyVector
+from repro.data.photo import Photo, PhotoSet
+from repro.data.poi import POI, POISet
+from repro.errors import QueryError
+from repro.geometry.bbox import BBox
+
+
+def _photos() -> PhotoSet:
+    return PhotoSet([
+        Photo(0, 0.1, 0.02, frozenset({"shop", "street"})),
+        Photo(1, 0.12, 0.03, frozenset({"shop"})),
+        Photo(2, 0.5, -0.02, frozenset({"protest", "crowd"})),
+        Photo(3, 0.0, 0.9, frozenset({"church"})),      # on Cross Street
+        Photo(4, 5.0, 5.0, frozenset({"far"})),          # nowhere near
+    ])
+
+
+class TestPhotosNearStreet:
+    def test_selects_within_eps(self, cross_network):
+        photos = _photos()
+        main = cross_network.street_by_name("Main Street")
+        positions = photos_near_street(cross_network, main.id, photos,
+                                       eps=0.1)
+        assert positions == [0, 1, 2]
+
+    def test_empty_photoset(self, cross_network):
+        main = cross_network.street_by_name("Main Street")
+        assert photos_near_street(cross_network, main.id, PhotoSet([]),
+                                  eps=0.1) == []
+
+
+class TestBuildStreetProfile:
+    def test_profile_contents(self, cross_network):
+        main = cross_network.street_by_name("Main Street")
+        profile = build_street_profile(cross_network, main.id, _photos(),
+                                       eps=0.1, rho=0.05)
+        assert len(profile) == 3
+        assert profile.street_name == "Main Street"
+        assert profile.phi["shop"] == 2
+        assert profile.phi["protest"] == 1
+        assert "far" not in profile.phi
+        expected_extent = cross_network.street_bbox(main.id).expanded(0.1)
+        assert profile.max_d == pytest.approx(expected_extent.diagonal)
+
+    def test_phi_includes_pois_when_requested(self, cross_network,
+                                              cross_pois):
+        main = cross_network.street_by_name("Main Street")
+        profile = build_street_profile(
+            cross_network, main.id, _photos(), eps=0.1, rho=0.05,
+            pois=cross_pois, poi_keyword_weight=0.5)
+        # POIs 0, 1, 3 carry "shop" within 0.1 of Main Street.
+        assert profile.phi["shop"] == pytest.approx(2 + 3 * 0.5)
+
+    def test_spatial_rel_counts_neighbours(self, cross_network):
+        main = cross_network.street_by_name("Main Street")
+        profile = build_street_profile(cross_network, main.id, _photos(),
+                                       eps=0.1, rho=0.05)
+        # photos 0 and 1 are within rho of each other; photo 2 is alone.
+        assert profile.spatial_rel[0] == pytest.approx(2 / 3)
+        assert profile.spatial_rel[1] == pytest.approx(2 / 3)
+        assert profile.spatial_rel[2] == pytest.approx(1 / 3)
+
+    def test_textual_rel_is_normalised_phi_weight(self, cross_network):
+        main = cross_network.street_by_name("Main Street")
+        profile = build_street_profile(cross_network, main.id, _photos(),
+                                       eps=0.1, rho=0.05)
+        # Phi: shop=2, street=1, protest=1, crowd=1 -> norm 5
+        assert profile.textual_rel[0] == pytest.approx((2 + 1) / 5)
+        assert profile.textual_rel[2] == pytest.approx((1 + 1) / 5)
+
+    def test_relevances_in_unit_interval(self, small_city, small_engine):
+        top = small_engine.top_k(["shop"], k=1, eps=0.0005)[0]
+        profile = build_street_profile(small_city.network, top.street_id,
+                                       small_city.photos, eps=0.0005)
+        assert ((profile.spatial_rel >= 0) & (profile.spatial_rel <= 1)).all()
+        assert ((profile.textual_rel >= 0) & (profile.textual_rel <= 1)).all()
+
+
+class TestValidation:
+    def _minimal(self, rho=0.1, max_d=1.0):
+        return StreetProfile(
+            photos=PhotoSet([Photo(0, 0, 0, frozenset({"a"}))]),
+            phi=KeywordFrequencyVector({"a": 1.0}),
+            max_d=max_d,
+            extent=BBox(0, 0, 1, 1),
+            rho=rho)
+
+    def test_valid(self):
+        profile = self._minimal()
+        assert profile.spatial_rel[0] == 1.0
+        assert profile.textual_rel[0] == 1.0
+
+    def test_bad_rho(self):
+        with pytest.raises(QueryError):
+            self._minimal(rho=0.0)
+
+    def test_bad_max_d(self):
+        with pytest.raises(QueryError):
+            self._minimal(max_d=0.0)
+
+    def test_empty_phi_gives_zero_textual_rel(self):
+        profile = StreetProfile(
+            photos=PhotoSet([Photo(0, 0, 0, frozenset({"a"}))]),
+            phi=KeywordFrequencyVector({}),
+            max_d=1.0, extent=BBox(0, 0, 1, 1), rho=0.1)
+        assert profile.textual_rel[0] == 0.0

@@ -1,0 +1,152 @@
+"""Tests for greedy selection and ST_Rel+Div (Algorithm 2).
+
+The central property: ST_Rel+Div selects *exactly* the same photos as the
+naive greedy (both maximise the same exact ``mmr`` with the same
+smallest-position tie-break); the cell bounds only reduce work.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.describe.greedy import GreedyDescriber
+from repro.core.describe.measures import mmr_value, objective_value
+from repro.core.describe.profile import StreetProfile, build_street_profile
+from repro.core.describe.st_rel_div import STRelDivDescriber
+from repro.data.keywords import KeywordFrequencyVector
+from repro.data.photo import Photo, PhotoSet
+from repro.errors import QueryError
+from repro.geometry.bbox import BBox
+
+from tests.conftest import random_photos
+
+
+def _profile(photos: PhotoSet, rho: float = 0.004) -> StreetProfile:
+    extent = BBox(-0.005, -0.005, 0.025, 0.025)
+    phi = KeywordFrequencyVector.from_keyword_sets(
+        p.keywords for p in photos)
+    return StreetProfile(photos=photos, phi=phi, max_d=extent.diagonal,
+                         extent=extent, rho=rho)
+
+
+class TestGreedy:
+    def test_selects_k_photos(self):
+        photos = PhotoSet([Photo(i, 0.001 * i, 0.0005 * i,
+                                 frozenset({f"t{i}"})) for i in range(6)])
+        selected = GreedyDescriber(_profile(photos)).select(3)
+        assert len(selected) == 3
+        assert len(set(selected)) == 3
+
+    def test_caps_at_photo_count(self):
+        photos = PhotoSet([Photo(0, 0, 0, frozenset({"a"})),
+                           Photo(1, 0.001, 0, frozenset({"b"}))])
+        assert len(GreedyDescriber(_profile(photos)).select(10)) == 2
+
+    def test_first_pick_maximises_relevance(self):
+        photos = PhotoSet([
+            Photo(0, 0.0, 0.0, frozenset({"rare"})),
+            Photo(1, 0.001, 0.0, frozenset({"popular"})),
+            Photo(2, 0.0011, 0.0001, frozenset({"popular"})),
+            Photo(3, 0.0012, 0.0002, frozenset({"popular"})),
+        ])
+        profile = _profile(photos)
+        first = GreedyDescriber(profile).select(1, lam=0.0, w=0.5)[0]
+        rels = [mmr_value(profile, pos, [], 0.0, 0.5, 1)
+                for pos in range(4)]
+        assert rels[first] == max(rels)
+
+    def test_greedy_each_step_maximises_mmr(self):
+        photos = PhotoSet([
+            Photo(i, 0.0007 * (i % 5), 0.0009 * (i // 5),
+                  frozenset({f"t{i % 3}", "common"}))
+            for i in range(12)])
+        profile = _profile(photos)
+        lam, w, k = 0.5, 0.5, 4
+        selected = GreedyDescriber(profile).select(k, lam, w)
+        chosen: list[int] = []
+        for pick in selected:
+            values = {pos: mmr_value(profile, pos, chosen, lam, w, k)
+                      for pos in range(len(photos)) if pos not in chosen}
+            best = max(values.values())
+            assert values[pick] == pytest.approx(best)
+            chosen.append(pick)
+
+    def test_parameter_validation(self):
+        photos = PhotoSet([Photo(0, 0, 0, frozenset({"a"}))])
+        describer = GreedyDescriber(_profile(photos))
+        with pytest.raises(QueryError):
+            describer.select(0)
+        with pytest.raises(QueryError):
+            describer.select(1, lam=1.5)
+        with pytest.raises(QueryError):
+            describer.select(1, w=-0.1)
+
+
+class TestSTRelDivEquivalence:
+    @given(random_photos(min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=6),
+           st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+           st.sampled_from([0.0, 0.5, 1.0]))
+    @settings(max_examples=50)
+    def test_matches_greedy_exactly(self, photos, k, lam, w):
+        profile = _profile(photos)
+        greedy = GreedyDescriber(profile).select(k, lam, w)
+        fast = STRelDivDescriber(profile).select(k, lam, w)
+        assert fast == greedy
+
+    def test_matches_greedy_on_real_profile(self, small_city, small_engine):
+        top = small_engine.top_k(["shop"], k=1, eps=0.0005)[0]
+        profile = build_street_profile(small_city.network, top.street_id,
+                                       small_city.photos, eps=0.0005)
+        for lam, w, k in [(0.5, 0.5, 5), (0.0, 1.0, 3), (1.0, 0.0, 4)]:
+            greedy = GreedyDescriber(profile).select(k, lam, w)
+            fast = STRelDivDescriber(profile).select(k, lam, w)
+            assert fast == greedy
+
+
+class TestSTRelDivBehaviour:
+    def test_stats_recorded(self):
+        photos = PhotoSet([Photo(i, 0.0007 * (i % 6), 0.0011 * (i // 6),
+                                 frozenset({f"t{i % 4}"}))
+                           for i in range(24)])
+        describer = STRelDivDescriber(_profile(photos))
+        selected, stats = describer.select_with_stats(4)
+        assert len(selected) == 4
+        assert stats.iterations == 4
+        assert stats.photos_examined <= 4 * len(photos)
+        assert stats.cells_considered > 0
+        assert stats.cells_pruned_filter >= 0
+
+    def test_pruning_examines_fewer_photos_than_naive(self):
+        # Cluster of near-identical photos far from a relevant dense spot:
+        # the filter should discard cells without touching their photos.
+        photos = []
+        for i in range(30):
+            photos.append(Photo(i, 0.001 + 0.00001 * i, 0.001,
+                                frozenset({"hot", "spot"})))
+        for i in range(30, 40):
+            photos.append(Photo(i, 0.02, 0.02 + 0.00001 * i,
+                                frozenset({"cold"})))
+        profile = _profile(PhotoSet(photos))
+        _selected, stats = STRelDivDescriber(profile).select_with_stats(
+            3, lam=0.0, w=0.5)
+        naive_work = 3 * len(photos)
+        assert stats.photos_examined < naive_work
+
+    def test_duplicate_photos_never_selected_twice(self):
+        photos = PhotoSet([Photo(i, 0.001, 0.001, frozenset({"same"}))
+                           for i in range(5)])
+        selected = STRelDivDescriber(_profile(photos)).select(5)
+        assert sorted(selected) == [0, 1, 2, 3, 4]
+
+    def test_empty_profile_returns_empty(self):
+        profile = _profile(PhotoSet([]))
+        assert STRelDivDescriber(profile).select(3) == []
+
+    def test_objective_never_negative(self):
+        photos = PhotoSet([Photo(i, 0.0005 * i, 0.0, frozenset({"x"}))
+                           for i in range(8)])
+        profile = _profile(photos)
+        selected = STRelDivDescriber(profile).select(4)
+        assert objective_value(profile, selected, 0.5, 0.5) >= 0.0

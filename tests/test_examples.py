@@ -1,0 +1,29 @@
+"""Smoke tests: every example script must run cleanly.
+
+The examples double as integration tests of the public API — they are run
+in-process (scaled presets make them fast) with stdout captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "shopping_streets", "photo_summary",
+            "explore_city"} <= names

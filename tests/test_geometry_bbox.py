@@ -1,0 +1,116 @@
+"""Tests for :mod:`repro.geometry.bbox`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.bbox import BBox
+
+finite = st.floats(min_value=-50, max_value=50,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw) -> BBox:
+    x0 = draw(finite)
+    y0 = draw(finite)
+    w = draw(st.floats(min_value=0, max_value=10))
+    h = draw(st.floats(min_value=0, max_value=10))
+    return BBox(x0, y0, x0 + w, y0 + h)
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = BBox(0, 1, 2, 3)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 1, 2, 3)
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            BBox(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BBox(0, 1, 1, 0)
+
+    def test_degenerate_point_allowed(self):
+        box = BBox(1, 1, 1, 1)
+        assert box.area == 0.0
+        assert box.diagonal == 0.0
+
+    def test_of_segment_normalises(self):
+        box = BBox.of_segment(2, 3, 0, 1)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 1, 2, 3)
+
+    def test_of_points(self):
+        box = BBox.of_points([(0, 5), (2, 1), (-1, 3)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, 1, 2, 5)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+
+class TestDerived:
+    def test_dimensions(self):
+        box = BBox(0, 0, 3, 4)
+        assert box.width == 3
+        assert box.height == 4
+        assert box.diagonal == pytest.approx(5.0)
+        assert box.area == 12
+        assert box.center == (1.5, 2.0)
+
+    def test_corners_order(self):
+        c = BBox(0, 0, 1, 2).corners()
+        assert c == ((0, 0), (1, 0), (1, 2), (0, 2))
+
+
+class TestPredicates:
+    def test_contains_point_closed(self):
+        box = BBox(0, 0, 1, 1)
+        assert box.contains_point(0, 0)        # corner
+        assert box.contains_point(1, 1)        # corner
+        assert box.contains_point(0.5, 0.5)
+        assert not box.contains_point(1.001, 0.5)
+
+    def test_intersects_overlap(self):
+        assert BBox(0, 0, 2, 2).intersects(BBox(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        assert BBox(0, 0, 1, 1).intersects(BBox(1, 0, 2, 1))
+
+    def test_intersects_disjoint(self):
+        assert not BBox(0, 0, 1, 1).intersects(BBox(2, 2, 3, 3))
+
+    @given(boxes(), boxes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestTransforms:
+    def test_expanded(self):
+        box = BBox(0, 0, 1, 1).expanded(0.5)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == \
+            (-0.5, -0.5, 1.5, 1.5)
+
+    def test_expanded_negative_raises_when_inverting(self):
+        with pytest.raises(ValueError):
+            BBox(0, 0, 1, 1).expanded(-0.6)
+
+    def test_union(self):
+        u = BBox(0, 0, 1, 1).union(BBox(2, -1, 3, 0.5))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, -1, 3, 1)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        for box in (a, b):
+            assert u.min_x <= box.min_x and u.min_y <= box.min_y
+            assert u.max_x >= box.max_x and u.max_y >= box.max_y
+
+    @given(boxes(), st.floats(min_value=0, max_value=5))
+    def test_expanded_diagonal_grows(self, box, margin):
+        grown = box.expanded(margin)
+        assert grown.diagonal >= box.diagonal
+        assert grown.diagonal == pytest.approx(
+            math.hypot(box.width + 2 * margin, box.height + 2 * margin))

@@ -1,0 +1,166 @@
+"""Tests for :mod:`repro.geometry.distance` — the exactness of these
+kernels underpins both Definition 1 (mass) and the index augmentation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.bbox import BBox
+from repro.geometry.distance import (
+    point_bbox_maxdist,
+    point_bbox_mindist,
+    point_distance,
+    point_segment_distance,
+    points_segment_distance,
+    segment_bbox_mindist,
+    segment_segment_distance,
+)
+
+finite = st.floats(min_value=-20, max_value=20,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestPointSegment:
+    def test_perpendicular_foot_inside(self):
+        assert point_segment_distance(1, 1, 0, 0, 2, 0) == pytest.approx(1.0)
+
+    def test_nearest_is_endpoint(self):
+        assert point_segment_distance(-3, 4, 0, 0, 2, 0) == pytest.approx(5.0)
+
+    def test_point_on_segment(self):
+        assert point_segment_distance(1, 0, 0, 0, 2, 0) == 0.0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(3, 4, 0, 0, 0, 0) == pytest.approx(5.0)
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_not_larger_than_endpoint_distances(self, px, py, ax, ay, bx, by):
+        d = point_segment_distance(px, py, ax, ay, bx, by)
+        assert d <= point_distance(px, py, ax, ay) + 1e-9
+        assert d <= point_distance(px, py, bx, by) + 1e-9
+
+    @given(finite, finite, finite, finite, finite, finite,
+           st.floats(min_value=0, max_value=1))
+    def test_lower_bound_via_sampled_points(self, px, py, ax, ay, bx, by, t):
+        """The distance to any sampled point of the segment is >= the min."""
+        sx = ax + t * (bx - ax)
+        sy = ay + t * (by - ay)
+        d = point_segment_distance(px, py, ax, ay, bx, by)
+        assert d <= point_distance(px, py, sx, sy) + 1e-9
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        xs = np.array([1.0, -3.0, 1.0, 10.0])
+        ys = np.array([1.0, 4.0, 0.0, 0.0])
+        batch = points_segment_distance(xs, ys, 0, 0, 2, 0)
+        for i in range(len(xs)):
+            scalar = point_segment_distance(
+                float(xs[i]), float(ys[i]), 0, 0, 2, 0)
+            assert batch[i] == pytest.approx(scalar)
+
+    def test_degenerate_segment(self):
+        xs = np.array([3.0])
+        ys = np.array([4.0])
+        assert points_segment_distance(xs, ys, 1, 1, 1, 1)[0] == \
+            pytest.approx(math.hypot(2, 3))
+
+    def test_empty_input(self):
+        out = points_segment_distance(np.empty(0), np.empty(0), 0, 0, 1, 0)
+        assert out.shape == (0,)
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=8),
+           finite, finite, finite, finite)
+    def test_property_matches_scalar(self, points, ax, ay, bx, by):
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        batch = points_segment_distance(xs, ys, ax, ay, bx, by)
+        for i, (px, py) in enumerate(points):
+            assert batch[i] == pytest.approx(
+                point_segment_distance(px, py, ax, ay, bx, by), abs=1e-9)
+
+
+class TestPointBox:
+    BOX = BBox(0, 0, 2, 1)
+
+    def test_inside_is_zero(self):
+        assert point_bbox_mindist(1, 0.5, self.BOX) == 0.0
+
+    def test_outside_side(self):
+        assert point_bbox_mindist(3, 0.5, self.BOX) == pytest.approx(1.0)
+
+    def test_outside_corner(self):
+        assert point_bbox_mindist(3, 2, self.BOX) == pytest.approx(
+            math.hypot(1, 1))
+
+    def test_maxdist_from_center(self):
+        assert point_bbox_maxdist(1, 0.5, self.BOX) == pytest.approx(
+            math.hypot(1, 0.5))
+
+    def test_maxdist_from_corner(self):
+        assert point_bbox_maxdist(0, 0, self.BOX) == pytest.approx(
+            math.hypot(2, 1))
+
+    @given(finite, finite)
+    def test_min_le_max(self, px, py):
+        assert point_bbox_mindist(px, py, self.BOX) <= \
+            point_bbox_maxdist(px, py, self.BOX) + 1e-9
+
+    @given(finite, finite,
+           st.floats(min_value=0, max_value=2),
+           st.floats(min_value=0, max_value=1))
+    def test_bounds_cover_sampled_box_points(self, px, py, qx, qy):
+        d = math.hypot(px - qx, py - qy)
+        assert point_bbox_mindist(px, py, self.BOX) <= d + 1e-9
+        assert point_bbox_maxdist(px, py, self.BOX) >= d - 1e-9
+
+
+class TestSegmentSegment:
+    def test_crossing_is_zero(self):
+        assert segment_segment_distance(0, 0, 2, 2, 0, 2, 2, 0) == 0.0
+
+    def test_parallel(self):
+        assert segment_segment_distance(0, 0, 1, 0, 0, 1, 1, 1) == \
+            pytest.approx(1.0)
+
+    def test_collinear_gap(self):
+        assert segment_segment_distance(0, 0, 1, 0, 3, 0, 4, 0) == \
+            pytest.approx(2.0)
+
+    @given(finite, finite, finite, finite, finite, finite, finite, finite)
+    def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
+        d1 = segment_segment_distance(ax, ay, bx, by, cx, cy, dx, dy)
+        d2 = segment_segment_distance(cx, cy, dx, dy, ax, ay, bx, by)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+
+class TestSegmentBox:
+    BOX = BBox(0, 0, 1, 1)
+
+    def test_crossing_is_zero(self):
+        assert segment_bbox_mindist(-1, 0.5, 2, 0.5, self.BOX) == 0.0
+
+    def test_endpoint_inside_is_zero(self):
+        assert segment_bbox_mindist(0.5, 0.5, 5, 5, self.BOX) == 0.0
+
+    def test_parallel_above(self):
+        assert segment_bbox_mindist(0, 2, 1, 2, self.BOX) == pytest.approx(1.0)
+
+    def test_diagonal_off_corner(self):
+        d = segment_bbox_mindist(2, 2, 3, 3, self.BOX)
+        assert d == pytest.approx(math.hypot(1, 1))
+
+    @given(finite, finite, finite, finite,
+           st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=1))
+    def test_lower_bounds_sampled_pairs(self, ax, ay, bx, by, t, qx, qy):
+        """mindist(seg, box) <= distance(point on seg, point in box)."""
+        sx = ax + t * (bx - ax)
+        sy = ay + t * (by - ay)
+        d = segment_bbox_mindist(ax, ay, bx, by, self.BOX)
+        assert d <= math.hypot(sx - qx, sy - qy) + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for :mod:`repro.geometry.primitives`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.primitives import (
+    Point,
+    interpolate,
+    midpoint,
+    project_onto_segment,
+    segment_length,
+    segments_intersect,
+)
+
+finite = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_unpacking(self):
+        x, y = Point(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_equality_by_value(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_usable_as_dict_key(self):
+        d = {Point(0, 0): "origin"}
+        assert d[Point(0, 0)] == "origin"
+
+
+class TestSegmentLength:
+    def test_axis_aligned(self):
+        assert segment_length(0, 0, 3, 0) == 3.0
+        assert segment_length(0, 0, 0, 4) == 4.0
+
+    def test_diagonal(self):
+        assert segment_length(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_zero_length(self):
+        assert segment_length(1, 1, 1, 1) == 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_symmetry(self, ax, ay, bx, by):
+        assert segment_length(ax, ay, bx, by) == pytest.approx(
+            segment_length(bx, by, ax, ay))
+
+
+class TestMidpointInterpolate:
+    def test_midpoint(self):
+        assert midpoint(0, 0, 2, 4) == Point(1, 2)
+
+    def test_interpolate_endpoints(self):
+        assert interpolate(1, 2, 5, 6, 0.0) == Point(1, 2)
+        assert interpolate(1, 2, 5, 6, 1.0) == Point(5, 6)
+
+    def test_interpolate_middle(self):
+        assert interpolate(0, 0, 4, 2, 0.5) == Point(2, 1)
+
+    @given(finite, finite, finite, finite)
+    def test_midpoint_is_interpolate_half(self, ax, ay, bx, by):
+        m = midpoint(ax, ay, bx, by)
+        i = interpolate(ax, ay, bx, by, 0.5)
+        assert m.x == pytest.approx(i.x)
+        assert m.y == pytest.approx(i.y)
+
+
+class TestProjection:
+    def test_projects_inside(self):
+        assert project_onto_segment(1, 1, 0, 0, 2, 0) == pytest.approx(0.5)
+
+    def test_clamps_before_start(self):
+        assert project_onto_segment(-5, 1, 0, 0, 2, 0) == 0.0
+
+    def test_clamps_after_end(self):
+        assert project_onto_segment(9, 1, 0, 0, 2, 0) == 1.0
+
+    def test_degenerate_segment(self):
+        assert project_onto_segment(3, 3, 1, 1, 1, 1) == 0.0
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_always_in_unit_interval(self, px, py, ax, ay, bx, by):
+        t = project_onto_segment(px, py, ax, ay, bx, by)
+        assert 0.0 <= t <= 1.0
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_touching_endpoint(self):
+        assert segments_intersect(0, 0, 1, 0, 1, 0, 2, 5)
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_t_shape(self):
+        # One endpoint lies in the interior of the other segment.
+        assert segments_intersect(0, 0, 2, 0, 1, -1, 1, 0)
+
+    def test_far_apart(self):
+        assert not segments_intersect(0, 0, 1, 1, 10, 10, 11, 11)
+
+    @given(finite, finite, finite, finite, finite, finite, finite, finite)
+    def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
+        assert segments_intersect(ax, ay, bx, by, cx, cy, dx, dy) == \
+            segments_intersect(cx, cy, dx, dy, ax, ay, bx, by)

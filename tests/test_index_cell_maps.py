@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.index.cell_maps`.
+
+The critical invariant (mass exactness depends on it): every POI within
+``eps`` of a segment lies in some cell of ``C_eps(l)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.distance import point_segment_distance
+from repro.index.cell_maps import SegmentCellMaps
+from repro.index.grid import UniformGrid
+
+from tests.conftest import random_networks
+
+
+@pytest.fixture()
+def cross_maps(cross_network):
+    grid = UniformGrid(cross_network.bbox().expanded(0.5), 0.25)
+    return SegmentCellMaps(cross_network, grid)
+
+
+class TestBaseMaps:
+    def test_segment_intersects_its_base_cells(self, cross_maps):
+        for seg in cross_maps.network.iter_segments():
+            cells = cross_maps.base_cells_of_segment(seg.id)
+            assert cells, f"segment {seg.id} has no base cells"
+            # endpoints must be covered
+            assert cross_maps.grid.cell_of(seg.ax, seg.ay) in cells
+            assert cross_maps.grid.cell_of(seg.bx, seg.by) in cells
+
+    def test_base_inverse_map_consistent(self, cross_maps):
+        for seg in cross_maps.network.iter_segments():
+            for cell in cross_maps.base_cells_of_segment(seg.id):
+                assert seg.id in cross_maps.base_segments_of_cell(cell)
+
+    def test_unknown_cell_has_no_segments(self, cross_maps):
+        assert cross_maps.base_segments_of_cell((0, 0)) == ()
+
+
+class TestAugmentedMaps:
+    def test_augmented_superset_of_base(self, cross_maps):
+        for seg in cross_maps.network.iter_segments():
+            base = set(cross_maps.base_cells_of_segment(seg.id))
+            augmented = set(cross_maps.cells_of_segment(seg.id, eps=0.3))
+            assert base <= augmented
+
+    def test_eps_zero_equals_base(self, cross_maps):
+        for seg in cross_maps.network.iter_segments():
+            assert set(cross_maps.cells_of_segment(seg.id, eps=0.0)) == \
+                set(cross_maps.base_cells_of_segment(seg.id))
+
+    def test_inverse_consistency(self, cross_maps):
+        eps = 0.3
+        for seg in cross_maps.network.iter_segments():
+            for cell in cross_maps.cells_of_segment(seg.id, eps):
+                assert seg.id in cross_maps.segments_of_cell(cell, eps)
+
+    def test_augmented_counts_match_map(self, cross_maps):
+        eps = 0.3
+        counts = cross_maps.augmented_cell_counts(eps)
+        for seg in cross_maps.network.iter_segments():
+            assert counts[seg.id] == \
+                len(cross_maps.cells_of_segment(seg.id, eps))
+
+    def test_caching_returns_same_object(self, cross_maps):
+        first = cross_maps.cells_of_segment(0, 0.3)
+        second = cross_maps.cells_of_segment(0, 0.3)
+        assert first is second
+
+    def test_negative_eps_raises(self, cross_maps):
+        with pytest.raises(ValueError):
+            cross_maps.cells_of_segment(0, -0.1)
+
+
+class TestCoverageInvariant:
+    @given(random_networks(),
+           st.lists(st.tuples(
+               st.floats(min_value=-0.002, max_value=0.022),
+               st.floats(min_value=-0.002, max_value=0.022)),
+               min_size=1, max_size=20))
+    def test_points_within_eps_are_covered(self, network, points):
+        """Any point within eps of segment l lies in a cell of C_eps(l)."""
+        eps = 0.0008
+        grid = UniformGrid(network.bbox().expanded(0.005), 0.0015)
+        maps = SegmentCellMaps(network, grid)
+        for seg in network.iter_segments():
+            cells = set(maps.cells_of_segment(seg.id, eps))
+            for x, y in points:
+                if point_segment_distance(x, y, seg.ax, seg.ay,
+                                          seg.bx, seg.by) <= eps:
+                    assert grid.cell_of(x, y) in cells

@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.index.grid`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import BBox
+from repro.index.grid import UniformGrid
+
+EXTENT = BBox(0.0, 0.0, 1.0, 0.5)
+
+
+class TestConstruction:
+    def test_cell_counts_cover_extent(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        assert grid.nx == 10
+        assert grid.ny == 5
+        assert grid.num_cells == 50
+
+    def test_non_divisible_extent_rounds_up(self):
+        grid = UniformGrid(BBox(0, 0, 1.05, 0.5), 0.1)
+        assert grid.nx == 11
+
+    def test_degenerate_extent_gets_one_cell(self):
+        grid = UniformGrid(BBox(0, 0, 0, 0), 0.1)
+        assert (grid.nx, grid.ny) == (1, 1)
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(IndexError_):
+            UniformGrid(EXTENT, 0.0)
+        with pytest.raises(IndexError_):
+            UniformGrid(EXTENT, -1.0)
+
+
+class TestAddressing:
+    def test_cell_of_interior_point(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        assert grid.cell_of(0.05, 0.05) == (0, 0)
+        assert grid.cell_of(0.95, 0.45) == (9, 4)
+
+    def test_cell_of_clamps_outside_points(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        assert grid.cell_of(-5.0, -5.0) == (0, 0)
+        assert grid.cell_of(99.0, 99.0) == (9, 4)
+
+    def test_cell_bbox_contains_its_points(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        box = grid.cell_bbox((3, 2))
+        assert box.contains_point(0.35, 0.25)
+        assert box.width == pytest.approx(0.1)
+
+    def test_cell_bbox_out_of_range_raises(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        with pytest.raises(IndexError_):
+            grid.cell_bbox((10, 0))
+        with pytest.raises(IndexError_):
+            grid.cell_bbox((0, -1))
+
+    @given(st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=0.5))
+    def test_point_lies_in_its_cell_bbox(self, x, y):
+        grid = UniformGrid(EXTENT, 0.07)
+        box = grid.cell_bbox(grid.cell_of(x, y))
+        assert box.contains_point(x, y) or (
+            # boundary points may land in the neighbouring cell box
+            abs(x - box.max_x) < 1e-12 or abs(y - box.max_y) < 1e-12
+            or abs(x - box.min_x) < 1e-12 or abs(y - box.min_y) < 1e-12)
+
+
+class TestIteration:
+    def test_cells_in_bbox(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        cells = set(grid.cells_in_bbox(BBox(0.05, 0.05, 0.25, 0.15)))
+        assert cells == {(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)}
+
+    def test_cells_in_bbox_clamps(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        cells = set(grid.cells_in_bbox(BBox(-10, -10, 20, 20)))
+        assert len(cells) == grid.num_cells
+
+    def test_neighborhood_interior(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        cells = set(grid.neighborhood((5, 2), radius=1))
+        assert len(cells) == 9
+        assert (4, 1) in cells and (6, 3) in cells
+
+    def test_neighborhood_clamped_at_corner(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        cells = set(grid.neighborhood((0, 0), radius=2))
+        assert cells == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_neighborhood_radius_zero(self):
+        grid = UniformGrid(EXTENT, 0.1)
+        assert list(grid.neighborhood((3, 3), radius=0)) == [(3, 3)]

@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.index.inverted`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.index.inverted import CellInvertedIndex, GlobalInvertedIndex
+
+
+def _cell_index() -> CellInvertedIndex:
+    return CellInvertedIndex([
+        (4, {"shop", "food"}),
+        (1, {"shop"}),
+        (9, {"bar"}),
+        (2, set()),
+    ])
+
+
+class TestCellInvertedIndex:
+    def test_postings_sorted_by_position(self):
+        index = _cell_index()
+        assert list(index.postings("shop")) == [1, 4]
+
+    def test_count(self):
+        index = _cell_index()
+        assert index.count("shop") == 2
+        assert index.count("bar") == 1
+        assert index.count("zoo") == 0
+
+    def test_num_items_counts_all(self):
+        assert _cell_index().num_items == 4
+
+    def test_keywords(self):
+        assert _cell_index().keywords == frozenset({"shop", "food", "bar"})
+
+    def test_matching_positions_single_keyword(self):
+        assert list(_cell_index().matching_positions(["shop"])) == [1, 4]
+
+    def test_matching_positions_union_deduplicates(self):
+        # position 4 matches both keywords but must appear once
+        out = list(_cell_index().matching_positions(["shop", "food"]))
+        assert out == [1, 4]
+
+    def test_matching_positions_unknown_keyword(self):
+        assert list(_cell_index().matching_positions(["zoo"])) == []
+        assert list(_cell_index().matching_positions([])) == []
+
+    @given(st.lists(st.frozensets(
+        st.sampled_from(["a", "b", "c"]), max_size=3), max_size=12),
+        st.frozensets(st.sampled_from(["a", "b", "c"]), max_size=3))
+    def test_matching_equals_bruteforce(self, keyword_sets, query):
+        index = CellInvertedIndex(enumerate(keyword_sets))
+        expected = sorted(pos for pos, kws in enumerate(keyword_sets)
+                          if kws & query)
+        assert list(index.matching_positions(query)) == expected
+
+
+class TestGlobalInvertedIndex:
+    def _global(self) -> GlobalInvertedIndex:
+        return GlobalInvertedIndex({
+            "shop": {(0, 0): 5, (1, 1): 9, (2, 2): 5},
+            "food": {(1, 1): 2},
+        })
+
+    def test_entries_sorted_descending_with_coordinate_ties(self):
+        entries = self._global().entries("shop")
+        assert list(entries) == [((1, 1), 9), ((0, 0), 5), ((2, 2), 5)]
+
+    def test_count(self):
+        g = self._global()
+        assert g.count("shop", (1, 1)) == 9
+        assert g.count("shop", (9, 9)) == 0
+        assert g.count("zoo", (0, 0)) == 0
+
+    def test_cells_for_union(self):
+        g = self._global()
+        assert g.cells_for(["shop", "food"]) == {(0, 0), (1, 1), (2, 2)}
+        assert g.cells_for(["food"]) == {(1, 1)}
+        assert g.cells_for(["zoo"]) == set()
+
+    def test_keywords(self):
+        assert self._global().keywords == frozenset({"shop", "food"})
+
+    def test_from_cells_aggregates(self):
+        cells = {
+            (0, 0): CellInvertedIndex([(0, {"shop"}), (1, {"shop", "food"})]),
+            (5, 5): CellInvertedIndex([(2, {"food"})]),
+        }
+        g = GlobalInvertedIndex.from_cells(cells)
+        assert g.count("shop", (0, 0)) == 2
+        assert g.count("food", (0, 0)) == 1
+        assert g.count("food", (5, 5)) == 1
+        assert list(g.entries("food")) == [((0, 0), 1), ((5, 5), 1)]

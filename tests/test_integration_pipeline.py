@@ -1,0 +1,139 @@
+"""End-to-end integration tests over a mid-sized synthetic city.
+
+These exercise the full pipeline the way the examples and benches do —
+generate, index, identify, describe, compare, route — and pin down
+cross-module contracts that unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BaselineSOI,
+    GreedyDescriber,
+    RegionQuery,
+    SOIEngine,
+    STRelDivDescriber,
+    StreetAggregate,
+    build_street_profile,
+    recommend_route,
+)
+from repro.core.describe.measures import objective_value
+from repro.datagen.presets import build_preset
+from repro.eval.experiments import PAPER_QUERY_KEYWORDS
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_preset("vienna", scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def engine(city):
+    return SOIEngine(city.network, city.pois)
+
+
+class TestIdentifyPipeline:
+    def test_engine_is_deterministic_across_queries(self, engine):
+        first = engine.top_k(["shop"], k=10, eps=0.0005)
+        # interleave other queries to stress shared caches
+        engine.top_k(["food"], k=5, eps=0.0005)
+        engine.top_k(["shop", "food"], k=5, eps=0.001)
+        second = engine.top_k(["shop"], k=10, eps=0.0005)
+        assert [(r.street_id, r.interest) for r in first] == \
+            [(r.street_id, r.interest) for r in second]
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_matches_baseline_at_paper_selectivities(self, engine, size):
+        keywords = PAPER_QUERY_KEYWORDS[:size]
+        soi = engine.top_k(keywords, k=20, eps=0.0005)
+        bl = BaselineSOI(engine).top_k(keywords, k=20, eps=0.0005)
+        assert [round(r.interest, 6) for r in soi] == \
+            [round(r.interest, 6) for r in bl]
+
+    def test_stats_are_internally_consistent(self, city, engine):
+        _res, stats = engine.top_k_with_stats(["shop"], k=10, eps=0.0005)
+        total_segments = len(city.network.segments)
+        assert stats.segments_seen <= total_segments
+        assert stats.segments_finalized_in_filter <= stats.segments_seen
+        assert stats.refinement_finalized + stats.refinement_pruned <= \
+            stats.segments_seen
+        assert stats.iterations >= stats.cells_popped
+
+    def test_interest_decreases_with_larger_eps_denominator(self, engine):
+        """For a fixed dense street, widening eps adds area faster than
+        mass once the cluster is fully covered, so interest eventually
+        drops."""
+        top = engine.top_k(["shop"], k=1, eps=0.0005)[0]
+        tight = engine.segment_exact_interest(
+            top.best_segment_id, ["shop"], eps=0.0005)
+        loose = engine.segment_exact_interest(
+            top.best_segment_id, ["shop"], eps=0.01)
+        assert loose < tight
+
+
+class TestDescribePipeline:
+    def test_top_streets_all_describable(self, city, engine):
+        for res in engine.top_k(["shop"], k=3, eps=0.0005):
+            profile = build_street_profile(
+                city.network, res.street_id, city.photos, eps=0.0005)
+            if len(profile) == 0:
+                continue
+            k = min(4, len(profile))
+            fast = STRelDivDescriber(profile).select(k)
+            naive = GreedyDescriber(profile).select(k)
+            assert fast == naive
+            assert len(set(fast)) == k
+
+    def test_diversified_beats_random_prefix(self, city, engine):
+        """The greedy summary should score no worse than the first-k
+        photos under the full objective."""
+        top = engine.top_k(["shop"], k=1, eps=0.0005)[0]
+        profile = build_street_profile(city.network, top.street_id,
+                                       city.photos, eps=0.0005)
+        k = min(5, len(profile))
+        selected = STRelDivDescriber(profile).select(k, 0.5, 0.5)
+        baseline = list(range(k))
+        assert objective_value(profile, selected, 0.5, 0.5) >= \
+            objective_value(profile, baseline, 0.5, 0.5) - 1e-9
+
+
+class TestComparatorsAndExtensions:
+    def test_region_query_contains_dense_street(self, city, engine):
+        top = engine.top_k(["food"], k=1, eps=0.0005)[0]
+        region = RegionQuery(engine).best_region(["food"],
+                                                 max_length=0.05,
+                                                 eps=0.0005)
+        streets = {city.network.segment(sid).street_id
+                   for sid in region.segment_ids}
+        assert top.street_id in streets
+
+    def test_route_over_all_aggregates(self, city, engine):
+        baseline = BaselineSOI(engine)
+        for aggregate in StreetAggregate:
+            results = baseline.top_k(["shop"], k=3, eps=0.0005,
+                                     aggregate=aggregate)
+            route = recommend_route(city.network, results)
+            assert set(route.visited_street_ids) <= \
+                {r.street_id for r in results}
+            assert len(route.visited_street_ids) >= 1
+
+    def test_weighted_and_unweighted_rankings_consistent(self, engine):
+        """With all weights 1.0 (the generator default), weighted mass
+        equals counting, so rankings coincide."""
+        plain = engine.top_k(["shop"], k=10, eps=0.0005)
+        weighted = engine.top_k(["shop"], k=10, eps=0.0005, weighted=True)
+        assert [(r.street_id, round(r.interest, 6)) for r in plain] == \
+            [(r.street_id, round(r.interest, 6)) for r in weighted]
+
+
+class TestIndexReuse:
+    def test_multiple_eps_values_share_engine(self, engine):
+        for eps in (0.0003, 0.0005, 0.001):
+            results = engine.top_k(["food"], k=5, eps=eps)
+            assert results
+        # cached augmentations must not leak between eps values
+        a = engine.top_k(["food"], k=5, eps=0.0003)
+        b = engine.top_k(["food"], k=5, eps=0.001)
+        assert [r.interest for r in a] != [r.interest for r in b]

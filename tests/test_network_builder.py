@@ -1,0 +1,116 @@
+"""Tests for :mod:`repro.network.builder`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.builder import RoadNetworkBuilder
+
+
+class TestVertices:
+    def test_sequential_ids(self):
+        builder = RoadNetworkBuilder()
+        assert builder.add_vertex(0, 0) == 0
+        assert builder.add_vertex(1, 0) == 1
+        assert builder.vertex_count() == 2
+
+    def test_deduplication(self):
+        builder = RoadNetworkBuilder()
+        a = builder.add_vertex(0.5, 0.5)
+        b = builder.add_vertex(0.5, 0.5)
+        assert a == b
+        assert builder.vertex_count() == 1
+
+
+class TestAddStreet:
+    def test_creates_segments_between_consecutive_vertices(self):
+        builder = RoadNetworkBuilder()
+        ids = [builder.add_vertex(float(i), 0.0) for i in range(4)]
+        street_id = builder.add_street("Long Street", ids)
+        network = builder.build()
+        street = network.street(street_id)
+        assert len(street) == 3
+        segs = network.segments_of_street(street_id)
+        assert [(s.u, s.v) for s in segs] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_crossing_streets_share_vertex(self):
+        builder = RoadNetworkBuilder()
+        w = builder.add_vertex(-1, 0)
+        c = builder.add_vertex(0, 0)
+        e = builder.add_vertex(1, 0)
+        n = builder.add_vertex(0, 1)
+        s = builder.add_vertex(0, -1)
+        builder.add_street("EW", [w, c, e])
+        builder.add_street("NS", [n, c, s])
+        network = builder.build()
+        graph = network.as_networkx()
+        assert graph.degree[c] == 4
+
+    def test_too_few_vertices(self):
+        builder = RoadNetworkBuilder()
+        v = builder.add_vertex(0, 0)
+        with pytest.raises(NetworkError, match="at least two"):
+            builder.add_street("Dot", [v])
+
+    def test_unknown_vertex(self):
+        builder = RoadNetworkBuilder()
+        builder.add_vertex(0, 0)
+        with pytest.raises(NetworkError, match="unknown vertex"):
+            builder.add_street("Bad", [0, 7])
+
+    def test_repeated_consecutive_vertex(self):
+        builder = RoadNetworkBuilder()
+        a = builder.add_vertex(0, 0)
+        b = builder.add_vertex(1, 0)
+        with pytest.raises(NetworkError, match="repeats"):
+            builder.add_street("Loop", [a, b, b])
+
+
+class TestAddStreetFromSegments:
+    def test_accepts_mixed_orientation(self):
+        builder = RoadNetworkBuilder()
+        a = builder.add_vertex(0, 0)
+        b = builder.add_vertex(1, 0)
+        c = builder.add_vertex(2, 0)
+        # second pair reversed: (c, b) still chains with (a, b) via b
+        street_id = builder.add_street_from_segments("Zig", [(a, b), (c, b)])
+        network = builder.build()
+        assert len(network.street(street_id)) == 2
+
+    def test_zero_length_segment(self):
+        builder = RoadNetworkBuilder()
+        a = builder.add_vertex(0, 0)
+        with pytest.raises(NetworkError, match="zero-length"):
+            builder.add_street_from_segments("Dot", [(a, a)])
+
+    def test_empty(self):
+        builder = RoadNetworkBuilder()
+        with pytest.raises(NetworkError, match="at least one"):
+            builder.add_street_from_segments("Empty", [])
+
+    def test_disconnected_pairs_fail_validation(self):
+        builder = RoadNetworkBuilder()
+        a = builder.add_vertex(0, 0)
+        b = builder.add_vertex(1, 0)
+        c = builder.add_vertex(5, 5)
+        d = builder.add_vertex(6, 5)
+        builder.add_street_from_segments("Teleport", [(a, b), (c, d)])
+        with pytest.raises(NetworkError, match="not a path"):
+            builder.build()
+
+
+class TestBuild:
+    def test_build_validates_by_default(self, cross_network):
+        # the fixture itself exercises a successful build
+        assert len(cross_network.segments) == 5
+        assert len(cross_network.streets) == 2
+
+    def test_built_network_is_consistent(self, cross_network):
+        cross_network.validate()  # idempotent re-validation
+
+    def test_ids_are_dense(self, cross_network):
+        assert sorted(cross_network.segments) == list(
+            range(len(cross_network.segments)))
+        assert sorted(cross_network.streets) == list(
+            range(len(cross_network.streets)))

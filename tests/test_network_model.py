@@ -1,0 +1,172 @@
+"""Tests for :mod:`repro.network.model`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.model import (
+    RoadNetwork,
+    Segment,
+    Street,
+    Vertex,
+    street_names,
+)
+
+
+def _simple_parts():
+    vertices = [Vertex(0, 0.0, 0.0), Vertex(1, 1.0, 0.0), Vertex(2, 2.0, 0.0),
+                Vertex(3, 1.0, 1.0)]
+    segments = [
+        Segment(0, 0, 0, 1, 0.0, 0.0, 1.0, 0.0),
+        Segment(1, 0, 1, 2, 1.0, 0.0, 2.0, 0.0),
+        Segment(2, 1, 1, 3, 1.0, 0.0, 1.0, 1.0),
+    ]
+    streets = [Street(0, "A Street", (0, 1)), Street(1, "B Lane", (2,))]
+    return vertices, segments, streets
+
+
+class TestAccessors:
+    def test_lookup(self):
+        network = RoadNetwork(*_simple_parts())
+        assert network.vertex(1).x == 1.0
+        assert network.segment(2).street_id == 1
+        assert network.street(0).name == "A Street"
+
+    def test_street_of_segment(self):
+        network = RoadNetwork(*_simple_parts())
+        assert network.street_of_segment(1).id == 0
+        assert network.street_of_segment(2).id == 1
+
+    def test_segments_of_street_order(self):
+        network = RoadNetwork(*_simple_parts())
+        assert [s.id for s in network.segments_of_street(0)] == [0, 1]
+
+    def test_street_by_name(self):
+        network = RoadNetwork(*_simple_parts())
+        assert network.street_by_name("B Lane").id == 1
+        with pytest.raises(KeyError):
+            network.street_by_name("Missing Road")
+
+    def test_street_names_helper(self):
+        network = RoadNetwork(*_simple_parts())
+        assert street_names(network, [1, 0]) == ["B Lane", "A Street"]
+
+
+class TestDerived:
+    def test_segment_length_precomputed(self):
+        network = RoadNetwork(*_simple_parts())
+        assert network.segment(0).length == pytest.approx(1.0)
+
+    def test_street_length_sums_segments(self):
+        network = RoadNetwork(*_simple_parts())
+        assert network.street_length(0) == pytest.approx(2.0)
+
+    def test_total_length(self):
+        network = RoadNetwork(*_simple_parts())
+        assert network.total_length() == pytest.approx(3.0)
+
+    def test_street_bbox(self):
+        network = RoadNetwork(*_simple_parts())
+        box = network.street_bbox(0)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 2, 0)
+
+    def test_network_bbox(self):
+        network = RoadNetwork(*_simple_parts())
+        box = network.bbox()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 2, 1)
+
+    def test_stats_shape(self):
+        stats = RoadNetwork(*_simple_parts()).stats()
+        assert stats["num_segments"] == 3
+        assert stats["num_streets"] == 2
+        assert stats["min_segment_length"] == pytest.approx(1.0)
+        assert stats["max_segment_length"] == pytest.approx(1.0)
+
+    def test_segment_mbr(self):
+        seg = Segment(0, 0, 0, 1, 2.0, 3.0, 0.0, 1.0)
+        box = seg.mbr
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 1, 2, 3)
+
+    def test_as_networkx(self):
+        graph = RoadNetwork(*_simple_parts()).as_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+        assert graph.edges[0, 1]["street_id"] == 0
+        assert graph.edges[1, 3]["length"] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_valid_network_passes(self):
+        RoadNetwork(*_simple_parts())  # should not raise
+
+    def test_segment_with_unknown_vertex(self):
+        vertices, segments, streets = _simple_parts()
+        segments[0] = Segment(0, 0, 99, 1, 0.0, 0.0, 1.0, 0.0)
+        with pytest.raises(NetworkError, match="unknown vertex"):
+            RoadNetwork(vertices, segments, streets)
+
+    def test_street_with_unknown_segment(self):
+        vertices, segments, streets = _simple_parts()
+        streets[1] = Street(1, "B Lane", (2, 42))
+        with pytest.raises(NetworkError, match="unknown segment"):
+            RoadNetwork(vertices, segments, streets)
+
+    def test_segment_claimed_by_two_streets(self):
+        vertices, segments, streets = _simple_parts()
+        streets[1] = Street(1, "B Lane", (2, 1))
+        with pytest.raises(NetworkError):
+            RoadNetwork(vertices, segments, streets)
+
+    def test_orphan_segment(self):
+        vertices, segments, streets = _simple_parts()
+        streets[1] = Street(1, "B Lane", (2,))
+        segments.append(Segment(3, 1, 0, 3, 0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(NetworkError, match="belongs to no street"):
+            RoadNetwork(vertices, segments, streets)
+
+    def test_empty_street(self):
+        vertices, segments, streets = _simple_parts()
+        streets.append(Street(2, "Ghost Alley", ()))
+        with pytest.raises(NetworkError, match="no segments"):
+            RoadNetwork(vertices, segments, streets)
+
+    def test_non_path_street(self):
+        vertices, segments, streets = _simple_parts()
+        # Segment 2 (1->3) does not touch segment... make street (0, 2) then
+        # break the chain by using segments 0 (0-1) and a new distant one.
+        vertices.append(Vertex(4, 9.0, 9.0))
+        vertices.append(Vertex(5, 9.0, 8.0))
+        segments.append(Segment(3, 2, 4, 5, 9.0, 9.0, 9.0, 8.0))
+        streets.append(Street(2, "Broken Street", (3,)))
+        # valid so far
+        RoadNetwork(list(vertices), list(segments), list(streets))
+        # now chain two disconnected segments in one street
+        bad_streets = [Street(0, "A Street", (0, 3)),
+                       Street(1, "B Lane", (2,)),
+                       Street(2, "C", (1,))]
+        bad_segments = [
+            Segment(0, 0, 0, 1, 0.0, 0.0, 1.0, 0.0),
+            Segment(1, 2, 1, 2, 1.0, 0.0, 2.0, 0.0),
+            Segment(2, 1, 1, 3, 1.0, 0.0, 1.0, 1.0),
+            Segment(3, 0, 4, 5, 9.0, 9.0, 9.0, 8.0),
+        ]
+        with pytest.raises(NetworkError, match="not a path"):
+            RoadNetwork(vertices, bad_segments, bad_streets)
+
+    def test_coordinate_mismatch(self):
+        vertices, segments, streets = _simple_parts()
+        segments[0] = Segment(0, 0, 0, 1, 0.5, 0.0, 1.0, 0.0)
+        with pytest.raises(NetworkError, match="disagree"):
+            RoadNetwork(vertices, segments, streets)
+
+    def test_validate_false_skips_checks(self):
+        vertices, segments, streets = _simple_parts()
+        streets[1] = Street(1, "B Lane", (2, 42))
+        # does not raise when validation is off
+        RoadNetwork(vertices, segments, streets, validate=False)
+
+    def test_empty_network_bbox_raises(self):
+        network = RoadNetwork([], [], [], validate=False)
+        with pytest.raises(NetworkError):
+            network.bbox()

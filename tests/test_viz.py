@@ -1,0 +1,47 @@
+"""Tests for :mod:`repro.viz.ascii_map`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.ascii_map import render_ascii_map
+
+
+class TestRenderAsciiMap:
+    def test_dimensions(self, cross_network):
+        out = render_ascii_map(cross_network, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_streets_drawn(self, cross_network):
+        out = render_ascii_map(cross_network, width=40, height=10)
+        assert "." in out
+
+    def test_highlight_overdraws(self, cross_network):
+        main = cross_network.street_by_name("Main Street")
+        out = render_ascii_map(cross_network, {"#": [main.id]},
+                               width=40, height=10)
+        assert "#" in out
+        # the cross street remains plain
+        assert "." in out
+
+    def test_later_highlights_win(self, cross_network):
+        main = cross_network.street_by_name("Main Street")
+        out1 = render_ascii_map(cross_network,
+                                {"a": [main.id], "b": [main.id]},
+                                width=40, height=10)
+        assert "b" in out1 and "a" not in out1
+
+    def test_invalid_marker(self, cross_network):
+        with pytest.raises(ValueError):
+            render_ascii_map(cross_network, {"##": [0]})
+
+    def test_invalid_canvas(self, cross_network):
+        with pytest.raises(ValueError):
+            render_ascii_map(cross_network, width=1, height=5)
+
+    def test_small_city_renders_every_row_used(self, small_city):
+        out = render_ascii_map(small_city.network, width=60, height=20)
+        lines = out.splitlines()
+        assert sum(1 for line in lines if line.strip()) >= 18
