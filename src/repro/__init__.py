@@ -42,9 +42,12 @@ from repro.core.soi import DEFAULT_EPS, AccessStrategy, SOIEngine
 from repro.core.soi_baseline import BaselineSOI
 from repro.data.photo import Photo, PhotoSet
 from repro.data.poi import POI, POISet
+from repro.analysis.contracts import contracts_enabled, enable_contracts
 from repro.errors import (
+    ContractViolation,
     DataError,
-    IndexError_,
+    GridIndexError,
+    IndexError_,  # repro-lint: disable=REP-H304 (back-compat re-export)
     NetworkError,
     QueryError,
     ReproError,
@@ -57,10 +60,12 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessStrategy",
     "BaselineSOI",
+    "ContractViolation",
     "DEFAULT_EPS",
     "DEFAULT_RHO",
     "DataError",
     "GreedyDescriber",
+    "GridIndexError",
     "IndexError_",
     "NetworkError",
     "POI",
@@ -85,6 +90,8 @@ __all__ = [
     "VARIANTS",
     "Vertex",
     "build_street_profile",
+    "contracts_enabled",
+    "enable_contracts",
     "recommend_route",
     "run_variant",
 ]

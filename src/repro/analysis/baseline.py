@@ -1,0 +1,78 @@
+"""Committed lint baseline: known findings that do not fail the gate.
+
+A baseline entry identifies a finding by ``(rule, path, fingerprint)``
+where the fingerprint hashes the *stripped source line text* — robust to
+pure line-number shifts, invalidated the moment the offending line itself
+changes.  Entries are counted with multiplicity, so two identical lines in
+one file need two entries.
+
+The repository policy (enforced by ``tests/test_static_analysis.py``) is
+an **empty** baseline: pre-existing findings were fixed or suppressed
+inline with a justification.  The machinery still exists so a future
+rule-tightening PR can land the rule first and burn down its backlog
+incrementally via ``repro lint --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def fingerprint(finding: Finding, lines: list[str]) -> str:
+    """Stable content hash of the line a finding points at."""
+    text = ""
+    if 1 <= finding.line <= len(lines):
+        text = lines[finding.line - 1].strip()
+    digest = hashlib.sha1(
+        f"{finding.rule}|{finding.path}|{text}".encode()).hexdigest()
+    return digest[:16]
+
+
+def load_baseline(path: Path) -> Counter[BaselineKey]:
+    """Baseline entries with multiplicity; empty when the file is absent."""
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries: Counter[BaselineKey] = Counter()
+    for item in data.get("findings", []):
+        entries[(item["rule"], item["path"], item["fingerprint"])] += 1
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter[BaselineKey]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, number matched by the baseline)."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.fingerprint)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the given findings (their fingerprints) as the new baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "fingerprint": f.fingerprint, "message": f.message}
+            for f in sorted(findings, key=lambda f: f.sort_key)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,90 @@
+"""Command-line front end of the linter.
+
+Reachable two ways with identical semantics:
+
+* ``repro lint [paths...]`` — subcommand of the main CLI;
+* ``python -m repro.analysis [paths...]`` — standalone module entry.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared by both entry points)."""
+    parser.add_argument("paths", nargs="*", type=Path,
+                        default=[Path("src/repro")],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: from "
+                             "[tool.repro.lint] or .repro-lint-baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current "
+                             "findings and exit 0")
+    parser.add_argument("--no-hints", action="store_true",
+                        help="omit fix hints from the text report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    first = args.paths[0] if args.paths else Path.cwd()
+    config = LintConfig.discover(Path(first))
+    if args.baseline is not None:
+        config = dataclasses.replace(config, baseline=str(args.baseline))
+
+    if args.list_rules:
+        for rule in default_rules(config):
+            print(f"{rule.id}  {rule.name:<22} [{rule.severity}]  "
+                  f"{rule.hint}")
+        return 0
+
+    missing = [str(p) for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    result = lint_paths(args.paths, config=config,
+                        use_baseline=not (args.no_baseline
+                                          or args.update_baseline))
+    if args.update_baseline:
+        path = config.baseline_path()
+        write_baseline(path, result.findings)
+        print(f"wrote {len(result.findings)} baseline entries to {path}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_hints=not args.no_hints))
+    return 0 if result.clean else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro static analysis: determinism, numeric-safety "
+                    "and API-hygiene rules for the SOI/describe pipelines")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

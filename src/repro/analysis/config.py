@@ -1,0 +1,87 @@
+"""Linter configuration, loadable from ``[tool.repro.lint]`` in pyproject.toml.
+
+Every knob has a default matching this repository's layout, so the linter
+works with no configuration at all; the pyproject table exists to make the
+policy explicit and editable without touching the rule code.  TOML keys may
+use either hyphens or underscores (``assume-positive`` / ``assume_positive``).
+
+Python 3.11+ ships :mod:`tomllib`; on 3.10 the ``tomli`` backport is used
+when available, otherwise the defaults apply silently (the linter must not
+require dependencies the runtime lacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - 3.10 fallback path
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Repo-wide lint policy.
+
+    Directory names are package-relative: ``"core"`` means
+    ``repro/core/**`` wherever the ``repro`` package lives.
+    """
+
+    baseline: str = DEFAULT_BASELINE
+    rng_allowed_dirs: tuple[str, ...] = ("datagen",)
+    wallclock_checked_dirs: tuple[str, ...] = ("core", "index")
+    division_checked_dirs: tuple[str, ...] = ("core", "geometry")
+    assume_positive: tuple[str, ...] = ("buffer_area", "max_d")
+    deprecated_names: dict[str, str] = field(
+        default_factory=lambda: {"IndexError_": "GridIndexError"})
+    disabled_rules: tuple[str, ...] = ()
+    root: Path | None = None
+
+    def baseline_path(self) -> Path:
+        path = Path(self.baseline)
+        if not path.is_absolute() and self.root is not None:
+            path = self.root / path
+        return path
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Config from one pyproject.toml (defaults where keys are absent)."""
+        config = cls(root=pyproject.parent)
+        if _toml is None or not pyproject.is_file():
+            return config
+        with pyproject.open("rb") as handle:
+            data = _toml.load(handle)
+        table = data.get("tool", {}).get("repro", {}).get("lint", {})
+        if not isinstance(table, dict):
+            return config
+        known = {f.name for f in fields(cls)}
+        updates = {}
+        for raw_key, value in table.items():
+            key = raw_key.replace("-", "_")
+            if key not in known or key == "root":
+                continue
+            if isinstance(value, list):
+                value = tuple(str(item) for item in value)
+            elif isinstance(value, dict):
+                value = {str(k): str(v) for k, v in value.items()}
+            updates[key] = value
+        return replace(config, **updates)
+
+    @classmethod
+    def discover(cls, start: Path) -> "LintConfig":
+        """Walk upwards from ``start`` looking for a pyproject.toml."""
+        current = start.resolve()
+        if current.is_file():
+            current = current.parent
+        for candidate in (current, *current.parents):
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                return cls.from_pyproject(pyproject)
+        return cls(root=current)

@@ -1,0 +1,144 @@
+"""The lint driver: file discovery, rule execution, suppressions, baseline.
+
+The engine is import-light and stdlib-only so it can run in CI, in the
+test suite (``tests/test_static_analysis.py`` gates tier-1 on it) and from
+the ``repro lint`` CLI with identical behaviour.  :func:`lint_source` lints
+a source string, which is what the rule unit tests use.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import apply_baseline, fingerprint, load_baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SUPPRESSION_RULE_ID,
+    Finding,
+    parse_suppressions,
+)
+from repro.analysis.rules import FileContext, Rule, default_rules
+
+PARSE_ERROR_RULE_ID = "REP-E000"
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            files.update(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+    return sorted(files)
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    try:
+        if root is not None:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        pass
+    return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    relpath: str = "repro/module.py",
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+    path: Path | None = None,
+) -> list[Finding]:
+    """Lint one source string (the in-process / unit-test entry point).
+
+    Returns findings sorted by location, with suppressions applied and
+    fingerprints attached; no baseline is involved at this level.
+    """
+    if config is None:
+        config = LintConfig()
+    if rules is None:
+        rules = default_rules(config)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [Finding(
+            rule=PARSE_ERROR_RULE_ID, severity=SEVERITY_ERROR,
+            path=relpath, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; nothing else was checked")]
+    ctx = FileContext(path=path or Path(relpath), relpath=relpath,
+                      source=source, lines=lines, tree=tree, config=config)
+    suppressions = parse_suppressions(lines)
+    findings: list[Finding] = []
+    for suppression in suppressions:
+        if not suppression.active:
+            findings.append(Finding(
+                rule=SUPPRESSION_RULE_ID, severity=SEVERITY_ERROR,
+                path=relpath, line=suppression.line, col=1,
+                message="suppression without a justification is inactive",
+                hint="append a reason: "
+                     "# repro-lint: disable=REP-XNNN (why it is safe)"))
+    for rule in rules:
+        for found in rule.check(ctx):
+            if any(s.covers(found) for s in suppressions):
+                continue
+            findings.append(found)
+    findings.sort(key=lambda f: f.sort_key)
+    return [replace(f, fingerprint=fingerprint(f, lines)) for f in findings]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint files/directories and apply the committed baseline.
+
+    When ``config`` is omitted it is discovered by walking upwards from
+    the first path looking for a ``pyproject.toml`` with a
+    ``[tool.repro.lint]`` table.
+    """
+    paths = [Path(p) for p in paths]
+    if config is None:
+        start = paths[0] if paths else Path.cwd()
+        config = LintConfig.discover(start)
+    if rules is None:
+        rules = default_rules(config)
+    result = LintResult()
+    all_findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        relpath = _relpath(path, config.root)
+        raw = lint_source(source, relpath=relpath, config=config,
+                          rules=rules, path=path.resolve())
+        all_findings.extend(raw)
+        result.files_checked += 1
+    if use_baseline:
+        baseline = load_baseline(config.baseline_path())
+        kept, matched = apply_baseline(all_findings, baseline)
+        result.findings = kept
+        result.baselined = matched
+    else:
+        result.findings = all_findings
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result

@@ -1,12 +1,17 @@
 """Command-line interface.
 
-Four subcommands cover the everyday workflow without writing Python:
+Five subcommands cover the everyday workflow without writing Python:
 
 * ``repro generate`` — build a synthetic city preset and save it as the
   three JSON files the loaders understand;
 * ``repro stats``    — print Table-1-style statistics for a saved city;
 * ``repro soi``      — answer a k-SOI query over a saved city;
-* ``repro describe`` — photo-summarise a street of a saved city.
+* ``repro describe`` — photo-summarise a street of a saved city;
+* ``repro lint``     — run the repo's custom static-analysis pass.
+
+``repro soi --check`` / ``repro describe --check`` additionally enable the
+runtime invariant contracts of :mod:`repro.analysis.contracts` for the
+query (the ``REPRO_CHECK=1`` environment variable does the same globally).
 
 Run as ``python -m repro <subcommand> --help``.
 """
@@ -18,6 +23,8 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.analysis.contracts import enable_contracts
 from repro.core.describe.profile import DEFAULT_RHO, build_street_profile
 from repro.core.describe.st_rel_div import STRelDivDescriber
 from repro.core.soi import DEFAULT_EPS, SOIEngine
@@ -62,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     soi.add_argument("--keywords", nargs="+", required=True)
     soi.add_argument("-k", type=int, default=10)
     soi.add_argument("--eps", type=float, default=DEFAULT_EPS)
+    soi.add_argument("--check", action="store_true",
+                     help="enable the runtime invariant contracts "
+                          "(slower; raises ContractViolation on a bug)")
 
     describe = sub.add_parser("describe",
                               help="photo-summarise a street")
@@ -76,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="relevance/diversity trade-off (Equation 2)")
     describe.add_argument("-w", type=float, default=0.5,
                           help="spatial/textual weight")
+    describe.add_argument("--check", action="store_true",
+                          help="enable the runtime invariant contracts")
+
+    lint = sub.add_parser(
+        "lint", help="run the custom static-analysis pass",
+        description="Repo-specific AST lint: determinism, numeric safety "
+                    "and API hygiene (see repro.analysis).")
+    add_lint_arguments(lint)
     return parser
 
 
@@ -116,6 +134,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_soi(args: argparse.Namespace) -> int:
+    if args.check:
+        enable_contracts()
     network, pois, _photos = _load_city(args.data)
     engine = SOIEngine(network, pois)
     results = engine.top_k(args.keywords, k=args.k, eps=args.eps)
@@ -130,6 +150,8 @@ def _cmd_soi(args: argparse.Namespace) -> int:
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
+    if args.check:
+        enable_contracts()
     network, pois, photos = _load_city(args.data)
     street_id = args.street
     if street_id is None:
@@ -162,6 +184,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "soi": _cmd_soi,
     "describe": _cmd_describe,
+    "lint": run_lint,
 }
 
 

@@ -54,6 +54,8 @@ def aggregate_street_interest(
     """
     segments = network.segments_of_street(street_id)
     values = [segment_interests[seg.id] for seg in segments]
+    if not values:
+        return 0.0
     if aggregate is StreetAggregate.MAX:
         return max(values)
     if aggregate is StreetAggregate.MEAN:
@@ -72,6 +74,8 @@ def aggregate_street_interest(
         total_mass = sum(value * buffer_area(seg.length, eps)
                          for value, seg in zip(values, segments))
         total_area = sum(buffer_area(seg.length, eps) for seg in segments)
+        if total_area <= 0.0:
+            return 0.0
         return total_mass / total_area
     raise ValueError(f"unknown aggregate {aggregate!r}")
 

@@ -177,3 +177,9 @@ class CellBoundsContext:
             lo += lam / (k - 1) * div_lo
             hi += lam / (k - 1) * div_hi
         return lo, hi
+
+
+#: Paper-facing alias: Section 4.2.2 calls this component the bounds
+#: computer.  The runtime contracts and tests patch/reference it under
+#: this name.
+BoundsComputer = CellBoundsContext

@@ -29,9 +29,9 @@ def textual_div(profile: StreetProfile, a: int, b: int) -> float:
 
 def jaccard_distance(a: frozenset[str], b: frozenset[str]) -> float:
     """``1 - |a n b| / |a u b|``; two empty sets have distance 0."""
-    if not a and not b:
-        return 0.0
     union = len(a | b)
+    if union == 0:
+        return 0.0
     return 1.0 - len(a & b) / union
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis import contracts
 from repro.core.describe.bounds import CellBoundsContext
 from repro.core.describe.greedy import _validate
 from repro.core.describe.measures import mmr_value
@@ -78,6 +79,8 @@ class STRelDivDescriber:
             stats.iterations += 1
             best_pos = self._next_candidate(
                 selected, selected_set, selected_per_cell, lam, w, k, stats)
+            if contracts.ENABLED:
+                contracts.check_describe_selection(best_pos, stats.iterations)
             selected.append(best_pos)
             selected_set.add(best_pos)
             coord = self.index.grid.cell_of(
@@ -146,6 +149,10 @@ class STRelDivDescriber:
                     continue
                 stats.photos_examined += 1
                 value = mmr_value(self.profile, pos, selected, lam, w, k)
+                if contracts.ENABLED:
+                    contracts.check_describe_candidate(
+                        self.profile, self._bounds, cell, pos, selected,
+                        lam, w, k, value)
                 if value > best_value or (value == best_value
                                           and pos < best_pos):
                     best_value = value

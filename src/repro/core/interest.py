@@ -22,6 +22,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.analysis import contracts
 from repro.data.poi import POISet
 from repro.errors import QueryError
 from repro.geometry.distance import (
@@ -180,7 +181,15 @@ def segment_mass_bruteforce(
 
 
 def segment_interest(mass: float, length: float, eps: float) -> float:
-    """Definition 2: mass density over the ``eps``-buffer area."""
+    """Definition 2: mass density over the ``eps``-buffer area.
+
+    ``buffer_area`` is positive for every ``eps > 0`` (it includes the
+    ``pi * eps**2`` end-caps even for zero-length segments), which is the
+    zero-guard of this division; under ``REPRO_CHECK=1`` the contract
+    layer asserts that precondition and the nonnegativity of the mass.
+    """
+    if contracts.ENABLED:
+        contracts.check_definition2(mass, length, eps)
     return mass / buffer_area(length, eps)
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from repro.analysis import contracts
 from repro.core.interest import (
     RelevantCellCache,
     buffer_area,
@@ -229,6 +230,9 @@ class _SOIRun:
         self._lbk = 0.0
         # Weighted queries bound per-cell relevant mass by count * max weight.
         self._weight_cap = engine._max_weight if weighted else 1.0
+        # Contract monitor (Lemma 1 / Definition 1); None on the fast path.
+        self._monitor = (contracts.SOIContractMonitor()
+                         if contracts.ENABLED else None)
 
     # -- driver -----------------------------------------------------------
 
@@ -242,6 +246,9 @@ class _SOIRun:
         t3 = time.perf_counter()
         self.stats.phase_seconds = {
             "build": t1 - t0, "filter": t2 - t1, "refine": t3 - t2}
+        if self._monitor is not None:
+            self._monitor.check_results(self.engine, self.query, self.eps,
+                                        self.weighted, self.k, results)
         return results, self.stats
 
     # -- phase 1: source lists --------------------------------------------
@@ -297,6 +304,8 @@ class _SOIRun:
             if self.stats.iterations % self._CHECK_EVERY == 0:
                 lbk = self._compute_lbk()
                 ub = self._compute_ub()
+                if self._monitor is not None:
+                    self._monitor.observe_threshold(lbk, ub)
                 if lbk >= ub:
                     break
             accessed = False

@@ -90,7 +90,7 @@ def preset_spec(name: str, scale: float = 1.0) -> CitySpec:
     ``scale``.  ``scale < 1`` gives fast variants for tests.
     """
     base = CITY_PRESETS[name]
-    if scale == 1.0:
+    if scale == 1.0:  # repro-lint: disable=REP-N201 (exact sentinel: the unscaled default returns the shared base preset)
         return base
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")

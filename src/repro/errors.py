@@ -26,12 +26,29 @@ class DataError(ReproError):
     """A POI, photo or keyword payload is malformed."""
 
 
-class IndexError_(ReproError):
+class GridIndexError(ReproError):
     """An index was queried in a way that is inconsistent with how it was
     built (e.g. asking a grid for a cell it does not contain, or using a
     segment id unknown to the cell maps)."""
 
 
+#: Deprecated alias of :class:`GridIndexError`, kept so existing imports
+#: keep working; new code is steered to the new name by lint rule REP-H304.
+IndexError_ = GridIndexError
+
+
 class QueryError(ReproError):
     """A query carries invalid parameters (``k < 1``, negative ``eps``,
     empty keyword set where one is required, ...)."""
+
+
+class ContractViolation(ReproError):
+    """A runtime invariant of the paper's algorithms was violated.
+
+    Raised only when the contract checks of
+    :mod:`repro.analysis.contracts` are enabled (``REPRO_CHECK=1``, the
+    ``--check`` CLI flag, or
+    :func:`~repro.analysis.contracts.enable_contracts`).  Seeing one means
+    either the library has a correctness bug or a monkeypatched/extended
+    component broke a bound obligation — it is never a user input error.
+    """

@@ -54,7 +54,7 @@ def points_segment_distance(
     dx = bx - ax
     dy = by - ay
     denom = dx * dx + dy * dy
-    if denom == 0.0:
+    if denom <= 0.0:
         return np.hypot(xs - ax, ys - ay)
     t = ((xs - ax) * dx + (ys - ay) * dy) / denom
     np.clip(t, 0.0, 1.0, out=t)
@@ -119,7 +119,7 @@ def segment_bbox_mindist(
     best = math.inf
     for (ex0, ey0), (ex1, ey1) in edges:
         d = segment_segment_distance(ax, ay, bx, by, ex0, ey0, ex1, ey1)
-        if d == 0.0:
+        if d <= 0.0:
             return 0.0
         if d < best:
             best = d

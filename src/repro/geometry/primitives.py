@@ -67,7 +67,7 @@ def project_onto_segment(
     dx = bx - ax
     dy = by - ay
     denom = dx * dx + dy * dy
-    if denom == 0.0:
+    if denom <= 0.0:
         return 0.0
     t = ((px - ax) * dx + (py - ay) * dy) / denom
     if t < 0.0:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
-from repro.errors import IndexError_
+from repro.errors import GridIndexError
 from repro.geometry.bbox import BBox
 
 CellCoord = tuple[int, int]
@@ -33,7 +33,7 @@ class UniformGrid:
 
     def __init__(self, extent: BBox, cell_size: float) -> None:
         if cell_size <= 0:
-            raise IndexError_(f"cell_size must be positive, got {cell_size}")
+            raise GridIndexError(f"cell_size must be positive, got {cell_size}")
         self.extent = extent
         self.cell_size = float(cell_size)
         self.nx = max(1, math.ceil(extent.width / cell_size))
@@ -50,12 +50,12 @@ class UniformGrid:
     def cell_bbox(self, cell: CellCoord) -> BBox:
         """The rectangle of a cell.
 
-        Raises :class:`~repro.errors.IndexError_` for coordinates outside
+        Raises :class:`~repro.errors.GridIndexError` for coordinates outside
         the grid.
         """
         i, j = cell
         if not (0 <= i < self.nx and 0 <= j < self.ny):
-            raise IndexError_(f"cell {cell} outside grid "
+            raise GridIndexError(f"cell {cell} outside grid "
                               f"({self.nx} x {self.ny})")
         x0 = self.extent.min_x + i * self.cell_size
         y0 = self.extent.min_y + j * self.cell_size

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.data.photo import PhotoSet
-from repro.errors import IndexError_
+from repro.errors import GridIndexError
 from repro.geometry.bbox import BBox
 from repro.index.grid import CellCoord, UniformGrid
 from repro.index.inverted import CellInvertedIndex
@@ -73,7 +73,7 @@ class PhotoGridIndex:
 
     def __init__(self, photos: PhotoSet, extent: BBox, rho: float) -> None:
         if rho <= 0:
-            raise IndexError_(f"rho must be positive, got {rho}")
+            raise GridIndexError(f"rho must be positive, got {rho}")
         self.photos = photos
         self.rho = float(rho)
         self.grid = UniformGrid(extent, rho / 2.0)

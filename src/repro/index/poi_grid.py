@@ -98,7 +98,8 @@ class POIGridIndex:
         total = self.cell_size_of(cell)
         if total == 0:
             return 0
-        summed = sum(self.global_index.count(k, cell) for k in set(keywords))
+        summed = sum(self.global_index.count(k, cell)
+                     for k in set(keywords))  # repro-lint: disable=REP-D102 (integer counts; sum is order-independent)
         return min(total, summed)
 
     def candidate_cells(self, keywords: Iterable[str]) -> set[CellCoord]:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import IndexError_
+from repro.errors import GridIndexError
 from repro.geometry.bbox import BBox
 from repro.index.grid import UniformGrid
 
@@ -28,9 +28,9 @@ class TestConstruction:
         assert (grid.nx, grid.ny) == (1, 1)
 
     def test_invalid_cell_size(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(GridIndexError):
             UniformGrid(EXTENT, 0.0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(GridIndexError):
             UniformGrid(EXTENT, -1.0)
 
 
@@ -53,9 +53,9 @@ class TestAddressing:
 
     def test_cell_bbox_out_of_range_raises(self):
         grid = UniformGrid(EXTENT, 0.1)
-        with pytest.raises(IndexError_):
+        with pytest.raises(GridIndexError):
             grid.cell_bbox((10, 0))
-        with pytest.raises(IndexError_):
+        with pytest.raises(GridIndexError):
             grid.cell_bbox((0, -1))
 
     @given(st.floats(min_value=0, max_value=1),

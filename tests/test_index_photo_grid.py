@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 
 from repro.data.photo import Photo, PhotoSet
-from repro.errors import IndexError_
+from repro.errors import GridIndexError
 from repro.geometry.bbox import BBox
 from repro.index.photo_grid import PhotoGridIndex
 
@@ -31,7 +31,7 @@ class TestConstruction:
         assert _index().grid.cell_size == pytest.approx(RHO / 2)
 
     def test_invalid_rho(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(GridIndexError):
             PhotoGridIndex(PhotoSet([]), EXTENT, 0.0)
 
     def test_occupied_cells(self):

@@ -20,7 +20,13 @@ class TestSurface:
         assert issubclass(repro.NetworkError, repro.ReproError)
         assert issubclass(repro.DataError, repro.ReproError)
         assert issubclass(repro.QueryError, repro.ReproError)
-        assert issubclass(repro.IndexError_, repro.ReproError)
+        assert issubclass(repro.GridIndexError, repro.ReproError)
+        assert issubclass(repro.ContractViolation, repro.ReproError)
+
+    def test_deprecated_index_error_alias(self):
+        # IndexError_ was renamed to GridIndexError; the alias must stay
+        # importable and identical so existing except clauses keep working.
+        assert repro.IndexError_ is repro.GridIndexError
 
 
 class TestQuickstartFlow:

@@ -1,0 +1,327 @@
+"""The lint gate and unit tests for the custom AST rules.
+
+``test_repo_is_lint_clean`` is the tier-1 gate: it runs the full linter
+over ``src/repro`` in-process with the committed configuration and
+baseline, and fails on any non-baselined finding.  The remaining tests
+exercise each rule against crafted sources through :func:`lint_source`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.cli
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintResult, lint_paths, lint_source
+from repro.analysis.reporters import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+CONFIG = LintConfig.discover(REPO_ROOT)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- the gate -----------------------------------------------------------------
+
+def test_repo_is_lint_clean():
+    result = lint_paths([SRC], config=CONFIG)
+    details = "\n".join(f.format_text() for f in result.findings)
+    assert result.clean, f"lint findings in src/repro:\n{details}"
+    assert result.files_checked > 50
+
+
+def test_committed_baseline_is_empty():
+    baseline = load_baseline(CONFIG.baseline_path())
+    assert sum(baseline.values()) == 0
+
+
+# -- determinism rules --------------------------------------------------------
+
+def test_d101_flags_unseeded_default_rng():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-D101"]
+
+
+def test_d101_accepts_seeded_and_datagen():
+    seeded = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert lint_source(seeded, relpath="repro/core/x.py",
+                       config=CONFIG) == []
+    unseeded = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert lint_source(unseeded, relpath="repro/datagen/x.py",
+                       config=CONFIG) == []
+
+
+def test_d101_flags_legacy_global_and_stdlib_random():
+    src = ("import random\nimport numpy as np\n"
+           "a = np.random.rand(3)\n"
+           "b = random.random()\n")
+    findings = lint_source(src, relpath="repro/eval/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-D101", "REP-D101"]
+
+
+def test_d102_flags_set_into_ordered_sinks():
+    src = ("def f(xs):\n"
+           "    out = []\n"
+           "    for x in set(xs):\n"
+           "        out.append(x)\n"
+           "    ys = [y for y in {1, 2, 3}]\n"
+           "    zs = list(frozenset(xs))\n"
+           "    return out, ys, zs\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-D102"] * 3
+
+
+def test_d102_accepts_sorted_sets_and_membership():
+    src = ("def f(xs):\n"
+           "    ordered = sorted(set(xs))\n"
+           "    total = sum(1 for x in xs if x in {1, 2})\n"
+           "    return ordered, total\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_d103_wall_clock_only_in_checked_dirs():
+    src = "import time\nstamp = time.time()\n"
+    assert rules_of(lint_source(src, relpath="repro/core/x.py",
+                                config=CONFIG)) == ["REP-D103"]
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+    timer = "import time\nt0 = time.perf_counter()\n"
+    assert lint_source(timer, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+# -- numeric rules ------------------------------------------------------------
+
+def test_n201_flags_float_equality_both_sides():
+    src = ("def f(x):\n"
+           "    if x == 0.5:\n"
+           "        return 1\n"
+           "    return -1.0 != x\n")
+    findings = lint_source(src, relpath="repro/eval/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-N201", "REP-N201"]
+
+
+def test_n201_accepts_int_equality_and_inequalities():
+    src = ("def f(x, n):\n"
+           "    if n == 0:\n"
+           "        return 0\n"
+           "    if x <= 0.0:\n"
+           "        return 1\n"
+           "    return x\n")
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+def test_n202_flags_unguarded_division_in_checked_dirs():
+    src = "def f(a, b):\n    return a / b\n"
+    assert rules_of(lint_source(src, relpath="repro/core/x.py",
+                                config=CONFIG)) == ["REP-N202"]
+    # Same code outside core/geometry is not checked.
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+def test_n202_accepts_guards_literals_and_allowlist():
+    src = ("def guarded(a, b):\n"
+           "    if b <= 0:\n"
+           "        return 0.0\n"
+           "    return a / b\n"
+           "def halved(a):\n"
+           "    return a / 2.0\n"
+           "def density(mass, length, eps):\n"
+           "    return mass / buffer_area(length, eps)\n"
+           "def ternary(a, b):\n"
+           "    return a / b if b else 0.0\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_n203_math_domain():
+    src = ("import math\n"
+           "def f(x, t):\n"
+           "    return math.sqrt(x) + math.acos(t)\n")
+    findings = lint_source(src, relpath="repro/geometry/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-N203", "REP-N203"]
+    safe = ("import math\n"
+            "def f(dx, dy, t):\n"
+            "    a = math.sqrt(dx * dx + dy * dy)\n"
+            "    b = math.sqrt(max(0.0, t))\n"
+            "    c = math.acos(min(1.0, max(-1.0, t)))\n"
+            "    return a + b + c\n")
+    assert lint_source(safe, relpath="repro/geometry/x.py",
+                       config=CONFIG) == []
+
+
+# -- hygiene rules ------------------------------------------------------------
+
+def test_h301_mutable_default():
+    src = "def f(items=[], table={}):\n    return items, table\n"
+    findings = lint_source(src, relpath="repro/eval/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-H301", "REP-H301"]
+    ok = "def f(items=None):\n    return list(items or [])\n"
+    assert lint_source(ok, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+def test_h302_broad_except():
+    src = ("def f():\n"
+           "    try:\n"
+           "        work()\n"
+           "    except:\n"
+           "        pass\n"
+           "    try:\n"
+           "        work()\n"
+           "    except Exception:\n"
+           "        return None\n")
+    findings = lint_source(src, relpath="repro/eval/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-H302", "REP-H302"]
+
+
+def test_h302_accepts_narrow_and_reraising_handlers():
+    src = ("def f():\n"
+           "    try:\n"
+           "        work()\n"
+           "    except ValueError:\n"
+           "        return None\n"
+           "    try:\n"
+           "        work()\n"
+           "    except Exception as exc:\n"
+           "        raise RuntimeError('context') from exc\n")
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+def test_h303_all_drift_both_directions():
+    src = ("from repro.core.soi import SOIEngine\n"
+           "__all__ = ['Ghost']\n")
+    findings = lint_source(src, relpath="repro/sub/__init__.py",
+                           config=CONFIG)
+    messages = sorted(f.message for f in findings)
+    assert rules_of(findings) == ["REP-H303", "REP-H303"]
+    assert "never binds" in messages[0]          # Ghost is exported, unbound
+    assert "missing from __all__" in messages[1]  # SOIEngine re-export
+
+
+def test_h303_exempts_future_and_used_imports():
+    src = ("from __future__ import annotations\n"
+           "from pathlib import Path\n"
+           "def resolve(p) -> Path:\n"
+           "    return Path(p)\n"
+           "__all__ = ['resolve']\n")
+    assert lint_source(src, relpath="repro/sub/__init__.py",
+                       config=CONFIG) == []
+
+
+def test_h303_only_applies_to_package_inits():
+    src = "from repro.core.soi import SOIEngine\n__all__ = ['Ghost']\n"
+    assert lint_source(src, relpath="repro/sub/module.py",
+                       config=CONFIG) == []
+
+
+def test_h304_deprecated_name():
+    src = ("from repro.errors import IndexError_\n"
+           "def f(exc):\n"
+           "    return isinstance(exc, IndexError_)\n")
+    findings = lint_source(src, relpath="repro/eval/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-H304", "REP-H304"]
+    ok = ("from repro.errors import GridIndexError\n"
+          "def f(exc):\n"
+          "    return isinstance(exc, GridIndexError)\n")
+    assert lint_source(ok, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+# -- suppressions, parse errors, baseline -------------------------------------
+
+def test_suppression_with_reason_silences_finding():
+    src = ("def f(x):\n"
+           "    if x == 0.5:  # repro-lint: disable=REP-N201 (exact "
+           "sentinel: test)\n"
+           "        return 1\n"
+           "    return 0\n")
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+def test_suppression_without_reason_is_inactive_and_flagged():
+    src = ("def f(x):\n"
+           "    if x == 0.5:  # repro-lint: disable=REP-N201\n"
+           "        return 1\n"
+           "    return 0\n")
+    findings = lint_source(src, relpath="repro/eval/x.py", config=CONFIG)
+    assert sorted(rules_of(findings)) == ["REP-N201", "REP-S001"]
+
+
+def test_parse_error_yields_single_e000():
+    findings = lint_source("def broken(:\n", relpath="repro/eval/x.py",
+                           config=CONFIG)
+    assert rules_of(findings) == ["REP-E000"]
+
+
+def test_baseline_round_trip(tmp_path):
+    src = "def f(a, b):\n    return a / b\n"
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert len(findings) == 1
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    baseline = load_baseline(path)
+    kept, matched = apply_baseline(findings, baseline)
+    assert kept == [] and matched == 1
+    # A different finding is not absorbed by the stale entry.
+    other = lint_source("def g(a, c):\n    return a / c\n",
+                        relpath="repro/core/x.py", config=CONFIG)
+    kept, matched = apply_baseline(other, baseline)
+    assert len(kept) == 1 and matched == 0
+
+
+# -- reporters and CLI --------------------------------------------------------
+
+def test_reporters_shape():
+    findings = lint_source("def f(a, b):\n    return a / b\n",
+                           relpath="repro/core/x.py", config=CONFIG)
+    result = LintResult(findings=findings, files_checked=1)
+    text = render_text(result, show_hints=True)
+    assert "REP-N202" in text and "hint:" in text
+    payload = json.loads(render_json(result))
+    assert payload["summary"] == {
+        "count": 1, "files_checked": 1, "baselined": 0, "clean": False}
+    assert payload["findings"][0]["rule"] == "REP-N202"
+    assert payload["findings"][0]["line"] == 2
+
+
+def test_cli_lint_clean_repo_exits_zero(capsys):
+    assert repro.cli.main(["lint", str(SRC)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_finding_exits_one(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(a, b):\n    return a / b\n", encoding="utf-8")
+    assert repro.cli.main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["count"] == 1
+
+
+def test_cli_lint_missing_path_exits_two(tmp_path, capsys):
+    assert repro.cli.main(["lint", str(tmp_path / "nowhere")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert repro.cli.main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP-D101", "REP-D102", "REP-D103", "REP-N201",
+                    "REP-N202", "REP-N203", "REP-H301", "REP-H302",
+                    "REP-H303", "REP-H304"):
+        assert rule_id in out
+
+
+def test_module_entry_point():
+    from repro.analysis.cli import main as analysis_main
+
+    assert analysis_main([str(SRC)]) == 0
