@@ -38,6 +38,7 @@ class LintConfig:
     rng_allowed_dirs: tuple[str, ...] = ("datagen",)
     wallclock_checked_dirs: tuple[str, ...] = ("core", "index")
     division_checked_dirs: tuple[str, ...] = ("core", "geometry")
+    perf_checked_dirs: tuple[str, ...] = ("core",)
     assume_positive: tuple[str, ...] = ("buffer_area", "max_d")
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})

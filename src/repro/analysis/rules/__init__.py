@@ -11,7 +11,8 @@ Rule families:
 
 * ``REP-D1xx`` — determinism (:mod:`repro.analysis.rules.determinism`);
 * ``REP-N2xx`` — numeric safety (:mod:`repro.analysis.rules.numeric`);
-* ``REP-H3xx`` — API hygiene (:mod:`repro.analysis.rules.hygiene`).
+* ``REP-H3xx`` — API hygiene (:mod:`repro.analysis.rules.hygiene`);
+* ``REP-P4xx`` — performance hazards (:mod:`repro.analysis.rules.perf`).
 """
 
 from __future__ import annotations
@@ -202,6 +203,10 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         MathDomainRule,
         UnguardedDivisionRule,
     )
+    from repro.analysis.rules.perf import (
+        ListMembershipInLoopRule,
+        SortedInLoopRule,
+    )
 
     rules: tuple[Rule, ...] = (
         UnseededRngRule(),
@@ -214,6 +219,8 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         BroadExceptRule(),
         AllDriftRule(),
         DeprecatedNameRule(),
+        SortedInLoopRule(),
+        ListMembershipInLoopRule(),
     )
     disabled = set(config.disabled_rules)
     return tuple(rule for rule in rules if rule.id not in disabled)

@@ -1,0 +1,141 @@
+"""Performance-hazard rules (``REP-P4xx``).
+
+The hot paths of this reproduction live under ``repro/core/`` (the
+directory set is configurable via ``perf-checked-dirs``); two quadratic
+patterns have already caused measured regressions there and are cheap to
+detect statically:
+
+* **REP-P401** — a ``sorted(...)`` call inside a loop *body* re-sorts on
+  every iteration; sort once before the loop (or maintain sorted order
+  incrementally).  ``sorted`` in the loop *header* (``for x in
+  sorted(...)``) runs once and is fine.
+* **REP-P402** — an ``in``/``not in`` membership test against a provably
+  list-like operand (a list/tuple literal, a ``list()``/``tuple()``/
+  ``sorted()`` call, or a local name assigned from one of those) inside a
+  loop body scans linearly per iteration; test against a ``set``/``dict``
+  (or a precomputed flag array) instead.
+
+Both rules stop at function boundaries when climbing out of the loop: a
+function *defined* in a loop body executes on call, not per iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_LISTISH_CALLS = frozenset({"list", "tuple", "sorted"})
+
+
+def _enclosing_loop_body(ctx: FileContext, node: ast.AST) -> ast.AST | None:
+    """The nearest loop whose *body* (or else-clause) contains ``node``.
+
+    Climbs the parent chain; a hit requires the chain to enter the loop
+    through ``body``/``orelse`` — code in the loop header (``iter``,
+    ``test``) runs once and must not be flagged.
+    """
+    child: ast.AST = node
+    parent = ctx.parent(child)
+    while parent is not None:
+        if isinstance(parent, _FUNCTIONS):
+            return None
+        if isinstance(parent, _LOOPS):
+            if any(child is stmt for stmt in (*parent.body, *parent.orelse)):
+                return parent
+        child, parent = parent, ctx.parent(parent)
+    return None
+
+
+def _is_listish(node: ast.expr, ctx: FileContext,
+                scope: ast.AST | None) -> bool:
+    """True when the expression provably evaluates to a list or tuple."""
+    if isinstance(node, (ast.List, ast.Tuple, ast.ListComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _LISTISH_CALLS:
+        return True
+    if isinstance(node, ast.Name) and scope is not None:
+        return _name_assigned_listish(node.id, scope)
+    return False
+
+
+def _name_assigned_listish(name: str, scope: ast.AST) -> bool:
+    """True when *every* plain assignment to ``name`` in the enclosing
+    function binds a list-like value (and at least one assignment exists).
+
+    Deliberately conservative: augmented assignments, ``for`` targets,
+    parameters or attribute writes make the name untraceable and the rule
+    stays silent rather than guessing.
+    """
+    assigned = False
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if not isinstance(node.value,
+                                  (ast.List, ast.Tuple, ast.ListComp)) and \
+                        not (isinstance(node.value, ast.Call)
+                             and isinstance(node.value.func, ast.Name)
+                             and node.value.func.id in _LISTISH_CALLS):
+                    return False
+                assigned = True
+    return assigned
+
+
+class SortedInLoopRule(Rule):
+    id = "REP-P401"
+    name = "sorted-in-loop"
+    hint = ("hoist the sorted() call above the loop, or maintain the "
+            "order incrementally (e.g. heapq / bisect.insort)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(ctx.config.perf_checked_dirs):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "sorted"):
+                continue
+            loop = _enclosing_loop_body(ctx, node)
+            if loop is not None:
+                yield self.finding(
+                    ctx, node,
+                    "sorted() inside a loop body re-sorts "
+                    f"O(n log n) work every iteration (loop at line "
+                    f"{loop.lineno})")
+
+
+class ListMembershipInLoopRule(Rule):
+    id = "REP-P402"
+    name = "list-membership-in-loop"
+    hint = ("membership-test against a set/dict (or a flag array) built "
+            "once before the loop")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(ctx.config.perf_checked_dirs):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            scope = ctx.enclosing_function(node)
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.In, ast.NotIn)):
+                    continue
+                if not _is_listish(comparator, ctx, scope):
+                    continue
+                loop = _enclosing_loop_body(ctx, node)
+                if loop is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "membership test against a list scans linearly on "
+                    f"every iteration (loop at line {loop.lineno})")
+
+
+__all__ = ["ListMembershipInLoopRule", "SortedInLoopRule"]

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands cover the everyday workflow without writing Python:
+Six subcommands cover the everyday workflow without writing Python:
 
 * ``repro generate`` — build a synthetic city preset and save it as the
   three JSON files the loaders understand;
 * ``repro stats``    — print Table-1-style statistics for a saved city;
 * ``repro soi``      — answer a k-SOI query over a saved city;
 * ``repro describe`` — photo-summarise a street of a saved city;
+* ``repro bench``    — run the Figure 4 / Figure 6 performance suites and
+  write ``BENCH_soi.json`` / ``BENCH_describe.json`` reports;
 * ``repro lint``     — run the repo's custom static-analysis pass.
 
 ``repro soi --check`` / ``repro describe --check`` additionally enable the
@@ -88,6 +90,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="spatial/textual weight")
     describe.add_argument("--check", action="store_true",
                           help="enable the runtime invariant contracts")
+
+    bench = sub.add_parser(
+        "bench", help="run the performance suites, write BENCH_*.json",
+        description="Time the Figure 4 (k-SOI sweeps) and Figure 6 "
+                    "(greedy describe) configurations on synthetic city "
+                    "presets and write JSON reports with medians and "
+                    "work counters.")
+    bench.add_argument("--suite", choices=("soi", "describe", "all"),
+                       default="all")
+    bench.add_argument("--cities", nargs="+", default=None,
+                       metavar="PRESET",
+                       help="city presets to measure (default: "
+                            "vienna berlin london)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="sweep repetitions per median "
+                            "(default: 5 for soi, 3 for describe)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="dataset size multiplier (default 1.0)")
+    bench.add_argument("--out", type=Path, default=Path("."),
+                       help="directory for the BENCH_*.json reports")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="workers for the untimed per-city setup "
+                            "(timed sections always run sequentially)")
 
     lint = sub.add_parser(
         "lint", help="run the custom static-analysis pass",
@@ -179,11 +204,37 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    cities = tuple(args.cities) if args.cities else bench.DEFAULT_CITIES
+    args.out.mkdir(parents=True, exist_ok=True)
+    written = []
+    if args.suite in ("soi", "all"):
+        report = bench.bench_soi(
+            cities, repeats=args.repeats or 5, scale=args.scale,
+            jobs=args.jobs)
+        path = args.out / bench.SOI_REPORT
+        bench.write_report(report, path)
+        written.append(path)
+    if args.suite in ("describe", "all"):
+        report = bench.bench_describe(
+            cities, repeats=args.repeats or 3, scale=args.scale,
+            jobs=args.jobs)
+        path = args.out / bench.DESCRIBE_REPORT
+        bench.write_report(report, path)
+        written.append(path)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "soi": _cmd_soi,
     "describe": _cmd_describe,
+    "bench": _cmd_bench,
     "lint": run_lint,
 }
 

@@ -74,11 +74,16 @@ class CellBoundsContext:
         return len(cell) / n if n else 0.0
 
     def _spatial_rel_upper(self, cell: PhotoCell) -> float:
-        """Equation 12: at most everything within two cells."""
+        """Equation 12: at most everything within two cells.
+
+        Delegated to :meth:`PhotoGridIndex.spatial_reach_count`, which also
+        counts boundary photos that floating-point cell assignment can push
+        one ring further out than the exact-arithmetic two-cell radius.
+        """
         n = len(self.profile)
         if n == 0:
             return 0.0
-        return self.index.neighborhood_count(cell.coord, radius=2) / n
+        return self.index.spatial_reach_count(cell.coord) / n
 
     def _textual_rel_lower(self, cell: PhotoCell) -> float:
         """Equation 13 via the ``Psi-(c|s)`` construction.

@@ -5,12 +5,19 @@ the photo with the maximum marginal relevance (Equation 10) — but it
 "examines all photos in each iteration" instead of operating on grid cells
 with bounds.  Ties break towards the smallest photo position, the same
 rule Algorithm 2 uses, so the two methods return identical summaries.
+
+Equation 10 is evaluated through the shared incremental
+:class:`~repro.core.describe.measures.MMREvaluator`: per-candidate running
+diversity sums make one full selection ``O(k * n)`` pair evaluations
+instead of the naive ``O(k^2 * n)``, while staying bit-identical to
+recomputing :func:`~repro.core.describe.measures.mmr_value` from scratch.
 """
 
 from __future__ import annotations
 
-from repro.core.describe.measures import mmr_value
+from repro.core.describe.measures import MMREvaluator
 from repro.core.describe.profile import StreetProfile
+from repro.core.describe.stats import DescribeStats
 from repro.errors import QueryError
 
 
@@ -28,21 +35,38 @@ class GreedyDescriber:
         fewer than ``k`` positions only when the profile holds fewer
         photos.
         """
+        positions, _stats = self.select_with_stats(k, lam, w)
+        return positions
+
+    def select_with_stats(
+        self, k: int, lam: float = 0.5, w: float = 0.5
+    ) -> tuple[list[int], DescribeStats]:
+        """Like :meth:`select` but also returns work counters."""
         _validate(k, lam, w)
+        stats = DescribeStats()
         n = len(self.profile)
+        evaluator = MMREvaluator(self.profile, lam, w, k)
         selected: list[int] = []
-        remaining = set(range(n))
+        is_selected = bytearray(n)
         while len(selected) < min(k, n):
+            stats.iterations += 1
             best_pos = -1
             best_value = -1.0
-            for pos in sorted(remaining):
-                value = mmr_value(self.profile, pos, selected, lam, w, k)
+            # Ascending position order + strict ">" keeps the smallest
+            # position on ties (same rule as Algorithm 2's refinement).
+            for pos in range(n):
+                if is_selected[pos]:
+                    continue
+                stats.photos_examined += 1
+                value = evaluator.value(pos)
                 if value > best_value:
                     best_value = value
                     best_pos = pos
             selected.append(best_pos)
-            remaining.discard(best_pos)
-        return selected
+            is_selected[best_pos] = 1
+            evaluator.extend_selection(best_pos)
+        stats.pair_div_evals = evaluator.pair_div_evals
+        return selected, stats
 
 
 def _validate(k: int, lam: float, w: float) -> None:

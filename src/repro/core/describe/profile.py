@@ -69,8 +69,26 @@ class StreetProfile:
         self.street_name = street_name
         self.keyword_sets: tuple[frozenset[str], ...] = tuple(
             photo.keywords for photo in photos)
+        self.tag_id_sets = self._intern_keyword_sets()
         self.spatial_rel = self._compute_spatial_rel()
         self.textual_rel = self._compute_textual_rel()
+
+    def _intern_keyword_sets(self) -> tuple[frozenset[int], ...]:
+        """``keyword_sets`` with every tag replaced by a small integer id.
+
+        Jaccard distance (Definition 7) only needs intersection/union
+        *cardinalities*, and the interning is injective, so distances over
+        the id sets equal distances over the string sets — while set
+        operations on small ints avoid re-hashing tag strings on every
+        pairwise diversity evaluation.  Ids follow the sorted global
+        vocabulary, so they are deterministic across runs.
+        """
+        vocabulary = sorted(set().union(*self.keyword_sets))
+        intern = {keyword: tag_id
+                  for tag_id, keyword in enumerate(vocabulary)}
+        return tuple(
+            frozenset(intern[keyword] for keyword in keywords)
+            for keywords in self.keyword_sets)
 
     # -- precomputed per-photo relevances ----------------------------------
 

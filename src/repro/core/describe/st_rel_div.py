@@ -11,34 +11,34 @@ The selected summary is identical to the naive
 :class:`~repro.core.describe.greedy.GreedyDescriber` (both maximise exact
 ``mmr`` with the same smallest-position tie-break); only the amount of work
 differs, which is what the Figure 6 experiments measure.
+
+The per-cell bound bookkeeping is kept in flat arrays indexed by cell
+position (one slot per occupied cell, in coordinate order): cell
+rectangles, interned keyword bitmasks and the selected-independent
+relevance bounds are materialised once per describer, and each new
+selection folds its diversity bounds into running per-cell sums with one
+vectorised pass instead of per-cell method calls.  Every inlined formula
+replicates :class:`~repro.core.describe.bounds.CellBoundsContext`
+operation for operation, so the bounds — and therefore the selection —
+are bit-identical to the reference implementation the runtime contracts
+check against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+
+import numpy as np
 
 from repro.analysis import contracts
 from repro.core.describe.bounds import CellBoundsContext
 from repro.core.describe.greedy import _validate
-from repro.core.describe.measures import mmr_value
+from repro.core.describe.measures import MMREvaluator
 from repro.core.describe.profile import StreetProfile
+from repro.core.describe.stats import DescribeStats
 from repro.index.photo_grid import PhotoCell, PhotoGridIndex
 
-
-@dataclass(slots=True)
-class DescribeStats:
-    """Work counters of one ST_Rel+Div run (for the Figure 6 analysis)."""
-
-    iterations: int = 0
-    cells_considered: int = 0
-    cells_pruned_filter: int = 0
-    cells_pruned_refine: int = 0
-    photos_examined: int = 0
-
-    @property
-    def cells_refined(self) -> int:
-        return (self.cells_considered - self.cells_pruned_filter
-                - self.cells_pruned_refine)
+__all__ = ["DescribeStats", "STRelDivDescriber"]
 
 
 class STRelDivDescriber:
@@ -50,12 +50,50 @@ class STRelDivDescriber:
         self.index = index or PhotoGridIndex(
             profile.photos, profile.extent, profile.rho)
         self._bounds = CellBoundsContext(profile, self.index)
+        self._cells: list[PhotoCell] = list(self.index.cells())
+        self._cell_slot = {cell.coord: slot
+                           for slot, cell in enumerate(self._cells)}
+        self._build_cell_arrays()
         # Per-cell running sums of the diversity bounds towards the
         # already-selected photos.  The selected set only grows, so each
         # new selection adds one increment per cell — O(cells) per
         # iteration instead of O(cells * |selected|).
-        self._div_lo: dict[tuple[int, int], float] = {}
-        self._div_hi: dict[tuple[int, int], float] = {}
+        self._div_lo = np.zeros(len(self._cells))
+        self._div_hi = np.zeros(len(self._cells))
+        # Per-photo fold vectors (Equations 15-18 towards every cell) are
+        # selection- and parameter-independent; memoise them across
+        # select() calls, like the SOI session mass memos.
+        self._fold_cache: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def _build_cell_arrays(self) -> None:
+        """Flat per-cell data reused by every :meth:`select` call."""
+        cells = self._cells
+        boxes = [self.index.cell_bbox(cell.coord) for cell in cells]
+        self._box_x0 = np.array([box.min_x for box in boxes])
+        self._box_y0 = np.array([box.min_y for box in boxes])
+        self._box_x1 = np.array([box.max_x for box in boxes])
+        self._box_y1 = np.array([box.max_y for box in boxes])
+        # Interned tag bitmasks: cardinalities of mask intersections equal
+        # cardinalities of the string-set intersections, which is all the
+        # Equation 17/18 closed forms read.
+        tag_sets = self.profile.tag_id_sets
+        self._photo_masks = [
+            sum(1 << tag_id for tag_id in tags) for tags in tag_sets]
+        self._cell_masks = [0] * len(cells)
+        for slot, cell in enumerate(cells):
+            mask = 0
+            for pos in cell.positions:
+                mask |= self._photo_masks[pos]
+            self._cell_masks[slot] = mask
+        self._cell_sizes = [len(cell) for cell in cells]
+        # Selected-independent relevance bounds (Equations 11-14), via the
+        # reference evaluator so the flat arrays share its cache.
+        rel = [self._bounds.relevance_bounds(cell) for cell in cells]
+        self._rel_spatial_lo = np.array([b.spatial_lo for b in rel])
+        self._rel_spatial_hi = np.array([b.spatial_hi for b in rel])
+        self._rel_textual_lo = np.array([b.textual_lo for b in rel])
+        self._rel_textual_hi = np.array([b.textual_hi for b in rel])
 
     def select(self, k: int, lam: float = 0.5, w: float = 0.5) -> list[int]:
         """Photo positions of the ``k``-photo summary (same contract as
@@ -70,85 +108,148 @@ class STRelDivDescriber:
         _validate(k, lam, w)
         stats = DescribeStats()
         n = len(self.profile)
+        evaluator = MMREvaluator(self.profile, lam, w, k)
         selected: list[int] = []
         selected_set: set[int] = set()
-        selected_per_cell: dict[tuple[int, int], int] = {}
-        self._div_lo = {cell.coord: 0.0 for cell in self.index.cells()}
-        self._div_hi = dict(self._div_lo)
+        selected_per_cell = [0] * len(self._cells)
+        alive = np.ones(len(self._cells), dtype=bool)
+        self._div_lo = np.zeros(len(self._cells))
+        self._div_hi = np.zeros(len(self._cells))
+        # The relevance part of every cell's mmr bound is
+        # selection-independent; weight it once per query.
+        rel_lo = (1.0 - lam) * (w * self._rel_spatial_lo
+                                + (1.0 - w) * self._rel_textual_lo)
+        rel_hi = (1.0 - lam) * (w * self._rel_spatial_hi
+                                + (1.0 - w) * self._rel_textual_hi)
         while len(selected) < min(k, n):
             stats.iterations += 1
             best_pos = self._next_candidate(
-                selected, selected_set, selected_per_cell, lam, w, k, stats)
+                evaluator, rel_lo, rel_hi, alive, selected, selected_set,
+                lam, w, k, stats)
             if contracts.ENABLED:
                 contracts.check_describe_selection(best_pos, stats.iterations)
             selected.append(best_pos)
             selected_set.add(best_pos)
+            evaluator.extend_selection(best_pos)
             coord = self.index.grid.cell_of(
                 float(self.profile.photos.xs[best_pos]),
                 float(self.profile.photos.ys[best_pos]))
-            selected_per_cell[coord] = selected_per_cell.get(coord, 0) + 1
+            slot = self._cell_slot[coord]
+            selected_per_cell[slot] += 1
+            if selected_per_cell[slot] >= self._cell_sizes[slot]:
+                alive[slot] = False  # no unselected photos left in the cell
             if lam > 0 and k > 1:
                 self._accumulate_div_bounds(best_pos, w)
+        stats.pair_div_evals = evaluator.pair_div_evals
         return selected, stats
 
     def _accumulate_div_bounds(self, pos: int, w: float) -> None:
-        """Fold the newly selected photo into the per-cell diversity sums."""
-        for cell in self.index.cells():
-            s_lo, s_hi = self._bounds.spatial_div_bounds(cell, pos)
-            t_lo, t_hi = self._bounds.textual_div_bounds(cell, pos)
-            self._div_lo[cell.coord] += w * s_lo + (1.0 - w) * t_lo
-            self._div_hi[cell.coord] += w * s_hi + (1.0 - w) * t_hi
+        """Fold the newly selected photo into the per-cell diversity sums.
+
+        Inlines :meth:`CellBoundsContext.spatial_div_bounds` /
+        :meth:`~CellBoundsContext.textual_div_bounds` over the flat cell
+        arrays: the min/max point-box legs are exact IEEE max/subtract
+        operations, the hypotenuses go through the same ``math.hypot`` as
+        the scalar kernels, and the Jaccard closed forms divide the same
+        integers — so every folded value is bitwise what the reference
+        methods return.
+        """
+        cached = self._fold_cache.get(pos)
+        if cached is None:
+            cached = self._fold_vectors(pos)
+            self._fold_cache[pos] = cached
+        s_lo, s_hi, t_lo, t_hi = cached
+        self._div_lo += w * s_lo + (1.0 - w) * t_lo
+        self._div_hi += w * s_hi + (1.0 - w) * t_hi
+
+    def _fold_vectors(
+        self, pos: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The four per-cell diversity-bound vectors of one photo."""
+        px = float(self.profile.photos.xs[pos])
+        py = float(self.profile.photos.ys[pos])
+        max_d = self.profile.max_d
+        # Equations 15/16 legs, vectorised (exact elementwise ops).
+        lo_dx = np.maximum(np.maximum(self._box_x0 - px, 0.0),
+                           px - self._box_x1).tolist()
+        lo_dy = np.maximum(np.maximum(self._box_y0 - py, 0.0),
+                           py - self._box_y1).tolist()
+        hi_dx = np.maximum(px - self._box_x0, self._box_x1 - px).tolist()
+        hi_dy = np.maximum(py - self._box_y0, self._box_y1 - py).tolist()
+        s_lo = np.array([math.hypot(dx, dy)
+                         for dx, dy in zip(lo_dx, lo_dy)]) / max_d
+        s_hi = np.array([math.hypot(dx, dy)
+                         for dx, dy in zip(hi_dx, hi_dy)]) / max_d
+        # Equations 17/18 closed forms over the interned tag bitmasks.
+        tags_mask = self._photo_masks[pos]
+        n_r = len(self.profile.tag_id_sets[pos])
+        t_lo = [0.0] * len(self._cells)
+        t_hi = [0.0] * len(self._cells)
+        for slot, cell in enumerate(self._cells):
+            inter = (self._cell_masks[slot] & tags_mask).bit_count()
+            diff = self._cell_masks[slot].bit_count() - inter
+            if inter < cell.psi_min:
+                denom = n_r + cell.psi_min - inter
+                t_lo[slot] = 1.0 - inter / denom if denom else 0.0
+            else:
+                overlap = min(inter, cell.psi_max)
+                t_lo[slot] = (1.0 - overlap / n_r if n_r
+                              else (0.0 if cell.psi_min == 0 else 1.0))
+            if diff >= cell.psi_min:
+                t_hi[slot] = 1.0
+            else:
+                denom = n_r + diff
+                t_hi[slot] = (1.0 - (cell.psi_min - diff) / denom
+                              if denom else 0.0)
+        return s_lo, s_hi, np.array(t_lo), np.array(t_hi)
 
     # -- one greedy step ------------------------------------------------------
 
     def _next_candidate(
         self,
+        evaluator: MMREvaluator,
+        rel_lo: np.ndarray,
+        rel_hi: np.ndarray,
+        alive: np.ndarray,
         selected: list[int],
         selected_set: set[int],
-        selected_per_cell: dict[tuple[int, int], int],
         lam: float,
         w: float,
         k: int,
         stats: DescribeStats,
     ) -> int:
         # Filtering phase: bound every cell that still holds candidates.
-        # Relevance bounds are cached per cell; diversity-sum bounds are
-        # maintained incrementally in _div_lo / _div_hi.
+        # Relevance bounds are precomputed per cell; diversity-sum bounds
+        # are maintained incrementally in _div_lo / _div_hi.
         div_scale = lam / (k - 1) if (selected and k > 1) else 0.0
-        bounded: list[tuple[float, float, PhotoCell]] = []
-        mmr_min = float("-inf")
-        for cell in self.index.cells():
-            if selected_per_cell.get(cell.coord, 0) >= len(cell):
-                continue  # no unselected photos left in this cell
-            stats.cells_considered += 1
-            rel = self._bounds.relevance_bounds(cell)
-            lo = (1.0 - lam) * (w * rel.spatial_lo
-                                + (1.0 - w) * rel.textual_lo)
-            hi = (1.0 - lam) * (w * rel.spatial_hi
-                                + (1.0 - w) * rel.textual_hi)
-            if div_scale:
-                lo += div_scale * self._div_lo[cell.coord]
-                hi += div_scale * self._div_hi[cell.coord]
-            bounded.append((lo, hi, cell))
-            if lo > mmr_min:
-                mmr_min = lo
-        candidates = [(hi, cell) for lo, hi, cell in bounded
-                      if hi >= mmr_min]
-        stats.cells_pruned_filter += len(bounded) - len(candidates)
+        if div_scale:
+            lo = rel_lo + div_scale * self._div_lo
+            hi = rel_hi + div_scale * self._div_hi
+        else:
+            lo = rel_lo
+            hi = rel_hi
+        alive_slots = np.flatnonzero(alive).tolist()
+        stats.cells_considered += len(alive_slots)
+        mmr_min = lo[alive].max()
+        hi_alive = hi[alive].tolist()
+        candidates = [(cell_hi, self._cells[slot])
+                      for cell_hi, slot in zip(hi_alive, alive_slots)
+                      if cell_hi >= mmr_min]
+        stats.cells_pruned_filter += len(alive_slots) - len(candidates)
 
         # Refinement phase: visit candidate cells by decreasing upper bound.
         candidates.sort(key=lambda item: (-item[0], item[1].coord))
         best_value = float("-inf")
         best_pos = -1
-        for hi, cell in candidates:
-            if hi < best_value:
+        for cell_hi, cell in candidates:
+            if cell_hi < best_value:
                 stats.cells_pruned_refine += 1
                 continue
             for pos in cell.positions:
                 if pos in selected_set:
                     continue
                 stats.photos_examined += 1
-                value = mmr_value(self.profile, pos, selected, lam, w, k)
+                value = evaluator.value(pos)
                 if contracts.ENABLED:
                     contracts.check_describe_candidate(
                         self.profile, self._bounds, cell, pos, selected,

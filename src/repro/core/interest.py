@@ -68,7 +68,9 @@ class RelevantCellCache:
     Several segments share each cell, and the SOI algorithm may visit a
     cell once per nearby segment; materialising the relevant positions and
     their coordinates once per cell turns every subsequent visit into a
-    pair of NumPy gathers.
+    pair of NumPy gathers.  ``hits``/``misses`` count lookups for the
+    instrumentation layer (a *miss* is a first visit that materialises the
+    entry).
     """
 
     _EMPTY = (np.empty(0, dtype=np.intp), np.empty(0), np.empty(0),
@@ -79,11 +81,14 @@ class RelevantCellCache:
         self._keywords = keywords
         self._cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray,
                                                  np.ndarray, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
 
     def get(self, cell: tuple[int, int]):
         """``(positions, xs, ys, weights)`` of the cell's relevant POIs."""
         entry = self._cache.get(cell)
         if entry is None:
+            self.misses += 1
             inverted = self._poi_index.cell_inverted(cell)
             if inverted is None or not any(
                     inverted.count(k) for k in self._keywords):
@@ -97,10 +102,33 @@ class RelevantCellCache:
                 entry = (positions, pois.xs[positions], pois.ys[positions],
                          pois.weights[positions])
             self._cache[cell] = entry
+        else:
+            self.hits += 1
         return entry
 
     def __len__(self) -> int:
         return len(self._cache)
+
+
+_SCALAR_CELL_MAX = 4
+"""Cells with at most this many relevant POIs take the scalar fast path
+(NumPy dispatch overhead dominates tiny cells).  The batched kernel keeps
+the same split so batched and per-cell evaluation stay bit-identical."""
+
+
+def _cell_mass_scalar(
+    xs: np.ndarray, ys: np.ndarray, weights: np.ndarray,
+    segment: Segment, eps: float, weighted: bool,
+) -> float:
+    """Scalar-path mass of one tiny cell (shared by both evaluation modes)."""
+    total = 0.0
+    for i in range(len(xs)):
+        d = point_segment_distance(float(xs[i]), float(ys[i]),
+                                   segment.ax, segment.ay,
+                                   segment.bx, segment.by)
+        if d <= eps:
+            total += float(weights[i]) if weighted else 1.0
+    return total
 
 
 def segment_mass_in_cell(
@@ -109,33 +137,149 @@ def segment_mass_in_cell(
     cache: RelevantCellCache,
     eps: float,
     weighted: bool = False,
+    stats=None,
+    mass_cache: dict | None = None,
 ) -> float:
     """Mass contribution of one cell to a segment.
 
     Exact: every relevant POI of the cell is tested against the segment
     with the vectorised distance kernel.  Because each POI lives in exactly
     one grid cell, summing this over ``C_eps(l)`` gives the exact mass.
+
+    ``stats`` (a :class:`~repro.core.results.SOIStats`, or anything with
+    the same counter attributes) receives kernel/cache counters;
+    ``mass_cache`` is an optional ``(segment_id, cell) -> mass`` memo for
+    the ``eps``/``weighted`` combination in effect, normally owned by a
+    :class:`~repro.perf.session.QuerySession`.
     """
+    if mass_cache is not None:
+        key = (segment.id, cell)
+        cached = mass_cache.get(key)
+        if cached is not None:
+            if stats is not None:
+                stats.mass_cache_hits += 1
+            return cached
+    total = _segment_mass_in_cell_uncached(segment, cell, cache, eps,
+                                           weighted, stats)
+    if mass_cache is not None:
+        if stats is not None:
+            stats.mass_cache_misses += 1
+        mass_cache[key] = total
+    return total
+
+
+def _segment_mass_in_cell_uncached(
+    segment: Segment,
+    cell: tuple[int, int],
+    cache: RelevantCellCache,
+    eps: float,
+    weighted: bool,
+    stats=None,
+) -> float:
     positions, xs, ys, weights = cache.get(cell)
     n = len(positions)
     if n == 0:
         return 0.0
-    if n <= 4:
-        # Scalar fast path: NumPy dispatch overhead dominates tiny cells.
-        total = 0.0
-        for i in range(n):
-            d = point_segment_distance(float(xs[i]), float(ys[i]),
-                                       segment.ax, segment.ay,
-                                       segment.bx, segment.by)
-            if d <= eps:
-                total += float(weights[i]) if weighted else 1.0
-        return total
+    if n <= _SCALAR_CELL_MAX:
+        if stats is not None:
+            stats.scalar_point_evals += n
+        return _cell_mass_scalar(xs, ys, weights, segment, eps, weighted)
+    if stats is not None:
+        stats.kernel_calls += 1
     dists = points_segment_distance(xs, ys, segment.ax, segment.ay,
                                     segment.bx, segment.by)
     within = dists <= eps
     if weighted:
         return float(weights[within].sum())
     return float(np.count_nonzero(within))
+
+
+def segment_mass_batched(
+    segment: Segment,
+    cells: Iterable[tuple[int, int]],
+    cache: RelevantCellCache,
+    eps: float,
+    weighted: bool = False,
+    stats=None,
+    mass_cache: dict | None = None,
+) -> float:
+    """Mass of a segment over several cells with one vectorised kernel call.
+
+    Concatenates the ``(xs, ys, weights)`` arrays of every non-tiny cell
+    and evaluates :func:`points_segment_distance` **once** for the whole
+    batch, instead of once per ``(segment, cell)`` pair.  Per-cell
+    contributions are then recovered from slices of the batch, so the
+    result — and every value stored into ``mass_cache`` — is bit-identical
+    to summing :func:`segment_mass_in_cell` over the same cells in the
+    same order: tiny cells (``<= _SCALAR_CELL_MAX`` POIs) keep the scalar
+    fast path, larger cells see exactly the same element-wise arithmetic
+    whether their arrays are evaluated alone or inside a batch.
+    """
+    contributions: list[float] = []
+    # (contribution slot, cell, batch start, batch stop) per batched cell.
+    pending: list[tuple[int, tuple[int, int], int, int]] = []
+    batch_xs: list[np.ndarray] = []
+    batch_ys: list[np.ndarray] = []
+    batch_weights: list[np.ndarray] = []
+    offset = 0
+    cached_hits = 0
+    fresh = 0
+    for cell in cells:
+        if mass_cache is not None:
+            cached = mass_cache.get((segment.id, cell))
+            if cached is not None:
+                cached_hits += 1
+                contributions.append(cached)
+                continue
+        positions, xs, ys, weights = cache.get(cell)
+        n = len(positions)
+        if n > _SCALAR_CELL_MAX:
+            pending.append((len(contributions), cell, offset, offset + n))
+            batch_xs.append(xs)
+            batch_ys.append(ys)
+            batch_weights.append(weights)
+            offset += n
+            contributions.append(0.0)  # patched after the kernel call
+            fresh += 1
+            continue
+        if n == 0:
+            value = 0.0
+        else:
+            if stats is not None:
+                stats.scalar_point_evals += n
+            value = _cell_mass_scalar(xs, ys, weights, segment, eps, weighted)
+        contributions.append(value)
+        fresh += 1
+        if mass_cache is not None:
+            mass_cache[(segment.id, cell)] = value
+    if pending:
+        if stats is not None:
+            stats.kernel_calls += 1
+        xs_all = np.concatenate(batch_xs)
+        ys_all = np.concatenate(batch_ys)
+        dists = points_segment_distance(xs_all, ys_all,
+                                        segment.ax, segment.ay,
+                                        segment.bx, segment.by)
+        within = dists <= eps
+        weights_all = np.concatenate(batch_weights) if weighted else None
+        for slot, cell, start, stop in pending:
+            if weighted:
+                value = float(weights_all[start:stop]
+                              [within[start:stop]].sum())
+            else:
+                value = float(np.count_nonzero(within[start:stop]))
+            contributions[slot] = value
+            if mass_cache is not None:
+                mass_cache[(segment.id, cell)] = value
+    if stats is not None:
+        stats.mass_cache_hits += cached_hits
+        if mass_cache is not None:
+            stats.mass_cache_misses += fresh
+    # Accumulate in cell order, matching the per-cell evaluation exactly.
+    total = 0.0
+    for value in contributions:
+        total += value
+    return total
 
 
 def segment_mass(
@@ -146,18 +290,20 @@ def segment_mass(
     eps: float,
     weighted: bool = False,
     cache: RelevantCellCache | None = None,
+    stats=None,
+    mass_cache: dict | None = None,
 ) -> float:
     """Definition 1: relevant POIs within ``eps`` of the segment.
 
-    Iterates the ``eps``-augmented cells ``C_eps(l)`` and sums their exact
-    contributions.
+    Aggregates the ``eps``-augmented cells ``C_eps(l)`` through the
+    batched kernel (one vectorised distance evaluation per segment), which
+    is bit-identical to summing per-cell contributions.
     """
     if cache is None:
         cache = RelevantCellCache(poi_index, keywords)
-    total = 0.0
-    for cell in cell_maps.cells_of_segment(segment.id, eps):
-        total += segment_mass_in_cell(segment, cell, cache, eps, weighted)
-    return total
+    return segment_mass_batched(
+        segment, cell_maps.cells_of_segment(segment.id, eps), cache, eps,
+        weighted, stats=stats, mass_cache=mass_cache)
 
 
 def segment_mass_bruteforce(

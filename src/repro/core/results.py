@@ -46,6 +46,17 @@ class SOIStats:
     ``phase_seconds`` records the three phases the paper breaks Figure 4
     bars into: ``"build"`` (source-list construction), ``"filter"`` and
     ``"refine"``.
+
+    The kernel and cache counters instrument the performance layer:
+    ``kernel_calls`` counts invocations of the vectorised
+    :func:`~repro.geometry.distance.points_segment_distance` kernel
+    (``refine_kernel_calls`` is the refinement-phase share — at most one
+    per refined segment on the batched path), ``scalar_point_evals``
+    counts points evaluated through the tiny-cell scalar fast path, and
+    the ``*_cache_*`` counters record :class:`RelevantCellCache` and
+    per-``(segment, cell)`` mass-cache traffic.  ``session_reused`` is
+    true when the run was served from a warm
+    :class:`~repro.perf.session.QuerySession`.
     """
 
     cells_popped: int = 0
@@ -56,8 +67,37 @@ class SOIStats:
     refinement_finalized: int = 0
     refinement_pruned: int = 0
     iterations: int = 0
+    kernel_calls: int = 0
+    refine_kernel_calls: int = 0
+    scalar_point_evals: int = 0
+    relevant_cache_hits: int = 0
+    relevant_cache_misses: int = 0
+    mass_cache_hits: int = 0
+    mass_cache_misses: int = 0
+    session_reused: bool = False
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return sum(self.phase_seconds.values())
+
+    def counters(self) -> dict[str, int]:
+        """The integer work counters as a plain dict (for ``repro bench``)."""
+        return {
+            "cells_popped": self.cells_popped,
+            "segments_popped": self.segments_popped,
+            "segments_seen": self.segments_seen,
+            "segments_finalized_in_filter": self.segments_finalized_in_filter,
+            "cell_visits": self.cell_visits,
+            "refinement_finalized": self.refinement_finalized,
+            "refinement_pruned": self.refinement_pruned,
+            "iterations": self.iterations,
+            "kernel_calls": self.kernel_calls,
+            "refine_kernel_calls": self.refine_kernel_calls,
+            "scalar_point_evals": self.scalar_point_evals,
+            "relevant_cache_hits": self.relevant_cache_hits,
+            "relevant_cache_misses": self.relevant_cache_misses,
+            "mass_cache_hits": self.mass_cache_hits,
+            "mass_cache_misses": self.mass_cache_misses,
+            "session_reused": int(self.session_reused),
+        }

@@ -33,6 +33,7 @@ from repro.core.interest import (
     RelevantCellCache,
     buffer_area,
     segment_interest,
+    segment_mass_batched,
     segment_mass_in_cell,
     validate_query,
 )
@@ -80,6 +81,7 @@ class _SegmentState:
 
     segment: Segment
     to_visit: set[CellCoord]
+    buffer_area: float = 0.0
     mass: float = 0.0
     final: bool = False
 
@@ -109,13 +111,28 @@ class SOIEngine:
         pois: POISet,
         cell_size: float | None = None,
         extent_margin: float | None = None,
+        session_pool_size: int | None = None,
     ) -> None:
+        from repro.perf.session import DEFAULT_MAX_SESSIONS, QuerySessionPool
+
+        self.network = network
+        self.pois = pois
+        self._cell_size = cell_size
+        self._extent_margin = extent_margin
+        self._build_indexes()
+        self.sessions = QuerySessionPool(
+            self.poi_index,
+            maxsize=(DEFAULT_MAX_SESSIONS if session_pool_size is None
+                     else session_pool_size))
+
+    def _build_indexes(self) -> None:
+        cell_size = self._cell_size
+        extent_margin = self._extent_margin
         if cell_size is None:
             cell_size = 2.0 * DEFAULT_EPS
         if extent_margin is None:
             extent_margin = 4.0 * cell_size
-        self.network = network
-        self.pois = pois
+        network, pois = self.network, self.pois
         extent = network.bbox()
         if len(pois):
             extent = extent.union(
@@ -132,6 +149,35 @@ class SOIEngine:
             key=lambda e: (e[1], e[0])))
         self._sl2_cache: dict[float, tuple[tuple[tuple[int, float], ...],
                                            float]] = {}
+
+    def rebuild_indexes(
+        self,
+        cell_size: float | None = None,
+        extent_margin: float | None = None,
+    ) -> None:
+        """Rebuild the offline structures (e.g. after re-tuning the grid).
+
+        Passing ``cell_size``/``extent_margin`` overrides the construction
+        parameters; omitted values keep the current ones.  Every retained
+        :class:`~repro.perf.session.QuerySession` is invalidated — their
+        cached materialisations point into the old index.
+        """
+        if cell_size is not None:
+            self._cell_size = cell_size
+        if extent_margin is not None:
+            self._extent_margin = extent_margin
+        self._build_indexes()
+        self.sessions.invalidate(self.poi_index)
+
+    def invalidate_sessions(self) -> None:
+        """Drop all cached query sessions (alias for pool invalidation)."""
+        self.sessions.invalidate()
+
+    def session_for(self, keywords: Iterable[str]):
+        """The :class:`~repro.perf.session.QuerySession` for a keyword set."""
+        from repro.data.keywords import normalize_keywords
+
+        return self.sessions.get(normalize_keywords(keywords))
 
     def _sl2_entries(self, eps: float) -> tuple[
             tuple[tuple[int, float], ...], float]:
@@ -158,6 +204,7 @@ class SOIEngine:
         strategy: AccessStrategy = AccessStrategy.ALTERNATE,
         prune_refinement: bool = True,
         weighted: bool = False,
+        use_session: bool = True,
     ) -> list[SOIResult]:
         """Answer a k-SOI query (Problem 1).
 
@@ -165,10 +212,17 @@ class SOIEngine:
         broken by street id); streets with zero interest are never
         reported.  Set ``weighted=True`` to sum POI weights instead of
         counting POIs (the Definition 1 adaptation).
+
+        ``use_session=True`` (the default) serves the query through the
+        engine's :class:`~repro.perf.session.QuerySessionPool`, so sweeps
+        over ``k``/``eps``/strategy with the same keywords reuse per-cell
+        materialisations; cached values are bitwise what a fresh run would
+        compute, so results are identical either way.
         """
         results, _stats = self.top_k_with_stats(
             keywords, k, eps, strategy=strategy,
-            prune_refinement=prune_refinement, weighted=weighted)
+            prune_refinement=prune_refinement, weighted=weighted,
+            use_session=use_session)
         return results
 
     def top_k_with_stats(
@@ -179,10 +233,13 @@ class SOIEngine:
         strategy: AccessStrategy = AccessStrategy.ALTERNATE,
         prune_refinement: bool = True,
         weighted: bool = False,
+        use_session: bool = True,
     ) -> tuple[list[SOIResult], SOIStats]:
         """Like :meth:`top_k` but also returns work/timing counters."""
-        run = _SOIRun(self, validate_query(keywords, k, eps), k, eps,
-                      strategy, prune_refinement, weighted)
+        query = validate_query(keywords, k, eps)
+        session = self.sessions.get(query) if use_session else None
+        run = _SOIRun(self, query, k, eps,
+                      strategy, prune_refinement, weighted, session=session)
         return run.execute()
 
     def segment_exact_interest(
@@ -191,14 +248,19 @@ class SOIEngine:
         keywords: Iterable[str],
         eps: float = DEFAULT_EPS,
         weighted: bool = False,
+        use_session: bool = True,
     ) -> float:
         """Exact Definition 2 interest of one segment (indexed path)."""
         from repro.core.interest import segment_mass
 
         query = validate_query(keywords, 1, eps)
+        session = self.sessions.get(query) if use_session else None
         segment = self.network.segment(segment_id)
-        mass = segment_mass(segment, self.poi_index, self.cell_maps,
-                            query, eps, weighted)
+        mass = segment_mass(
+            segment, self.poi_index, self.cell_maps, query, eps, weighted,
+            cache=session.cache if session is not None else None,
+            mass_cache=(session.mass_cache(eps, weighted)
+                        if session is not None else None))
         return segment_interest(mass, segment.length, eps)
 
 
@@ -214,6 +276,7 @@ class _SOIRun:
         strategy: AccessStrategy,
         prune_refinement: bool,
         weighted: bool,
+        session=None,
     ) -> None:
         self.engine = engine
         self.query = query
@@ -223,7 +286,17 @@ class _SOIRun:
         self.prune_refinement = prune_refinement
         self.weighted = weighted
         self.stats = SOIStats()
-        self.cache = RelevantCellCache(engine.poi_index, query)
+        self.session = session
+        if session is not None:
+            # Cross-query reuse: the session owns the relevant-cell cache
+            # and the (segment, cell) mass memo for this (eps, weighted).
+            self.cache = session.cache
+            self._mass_cache = session.mass_cache(eps, weighted)
+            self.stats.session_reused = session.queries_served > 0
+            session.queries_served += 1
+        else:
+            self.cache = RelevantCellCache(engine.poi_index, query)
+            self._mass_cache = None
         self._states: dict[int, _SegmentState] = {}
         self._street_best_lb: dict[int, float] = {}
         self._lbk_dirty = True
@@ -237,13 +310,19 @@ class _SOIRun:
     # -- driver -----------------------------------------------------------
 
     def execute(self) -> tuple[list[SOIResult], SOIStats]:
+        hits0, misses0 = self.cache.hits, self.cache.misses
         t0 = time.perf_counter()
         self._build_source_lists()
         t1 = time.perf_counter()
         self._filter()
         t2 = time.perf_counter()
+        kernels_before_refine = self.stats.kernel_calls
         results = self._refine()
         t3 = time.perf_counter()
+        self.stats.refine_kernel_calls = (
+            self.stats.kernel_calls - kernels_before_refine)
+        self.stats.relevant_cache_hits = self.cache.hits - hits0
+        self.stats.relevant_cache_misses = self.cache.misses - misses0
         self.stats.phase_seconds = {
             "build": t1 - t0, "filter": t2 - t1, "refine": t3 - t2}
         if self._monitor is not None:
@@ -254,16 +333,22 @@ class _SOIRun:
     # -- phase 1: source lists --------------------------------------------
 
     def _build_source_lists(self) -> None:
-        poi_index = self.engine.poi_index
         # Per-cell |P_Psi(c)| upper bounds; cells absent from this map hold
         # no relevant POI, so visiting them contributes nothing to mass.
-        self._cell_ub: dict[CellCoord, int] = {}
-        sl1_entries = []
-        for cell in poi_index.candidate_cells(self.query):
-            ub = poi_index.relevant_count_upper_bound(cell, self.query)
-            if ub > 0:
-                self._cell_ub[cell] = ub
-                sl1_entries.append((cell, ub))
+        if self.session is not None:
+            # Keyword-only aggregate: computed once per signature, shared
+            # by every (k, eps, strategy) configuration of the sweep.
+            self._cell_ub = self.session.cell_upper_bounds()
+            sl1_entries = list(self._cell_ub.items())
+        else:
+            poi_index = self.engine.poi_index
+            self._cell_ub: dict[CellCoord, int] = {}
+            sl1_entries = []
+            for cell in poi_index.candidate_cells(self.query):
+                ub = poi_index.relevant_count_upper_bound(cell, self.query)
+                if ub > 0:
+                    self._cell_ub[cell] = ub
+                    sl1_entries.append((cell, ub))
         self.sl1 = CellSourceList(sl1_entries)
 
         # Threshold for the paper's adaptive SL2 access: "we only access
@@ -299,37 +384,48 @@ class _SOIRun:
 
     def _filter(self) -> None:
         cycle = self.strategy.cycle
+        ncycle = len(cycle)
         position = 0
+        stats = self.stats
+        access = self._access
+        monitor = self._monitor
+        check_every = self._CHECK_EVERY
+        # Hot loop: the attribute chains below are loop-invariant, so they
+        # are hoisted into locals (the warm-session profile is dominated by
+        # this loop's per-access bookkeeping, not by mass kernels).
+        alternate = (self.strategy is AccessStrategy.ALTERNATE
+                     and self._sl2_threshold > 0)
+        sl2_top = self.sl2.top
+        sl2_threshold = self._sl2_threshold
         while True:
-            if self.stats.iterations % self._CHECK_EVERY == 0:
+            if stats.iterations % check_every == 0:
                 lbk = self._compute_lbk()
                 ub = self._compute_ub()
-                if self._monitor is not None:
-                    self._monitor.observe_threshold(lbk, ub)
+                if monitor is not None:
+                    monitor.observe_threshold(lbk, ub)
                 if lbk >= ub:
                     break
             accessed = False
-            if (self.strategy is AccessStrategy.ALTERNATE
-                    and self._sl2_threshold > 0):
-                top2 = self.sl2.top()
-                if top2 is not None and top2 > self._sl2_threshold:
-                    accessed = self._access("SL2")
-            for offset in range(len(cycle)):
+            if alternate:
+                top2 = sl2_top()
+                if top2 is not None and top2 > sl2_threshold:
+                    accessed = access("SL2")
+            for offset in range(ncycle):
                 if accessed:
                     break
-                name = cycle[(position + offset) % len(cycle)]
-                if self._access(name):
-                    position = (position + offset + 1) % len(cycle)
+                name = cycle[(position + offset) % ncycle]
+                if access(name):
+                    position = (position + offset + 1) % ncycle
                     accessed = True
             if not accessed:
                 # Preferred lists drained; fall back to any remaining list.
                 for name in ("SL1", "SL2", "SL3"):
-                    if self._access(name):
+                    if access(name):
                         accessed = True
                         break
             if not accessed:
                 break
-            self.stats.iterations += 1
+            stats.iterations += 1
 
     def _access(self, name: str) -> bool:
         """Perform one access on the named list; False when exhausted."""
@@ -338,8 +434,12 @@ class _SOIRun:
             if cell is None:
                 return False
             self.stats.cells_popped += 1
+            states = self._states
+            state_of = self._state_of
+            update = self._update_interest
             for sid in self.engine.cell_maps.segments_of_cell(cell, self.eps):
-                self._update_interest(self._state_of(sid), cell)
+                state = states.get(sid)
+                update(state if state is not None else state_of(sid), cell)
             return True
         source: SegmentSourceList = self._lists[name]
         segment_id = source.pop()
@@ -354,7 +454,9 @@ class _SOIRun:
         if state is None:
             segment = self.engine.network.segment(segment_id)
             cells = self.engine.cell_maps.cells_of_segment(segment_id, self.eps)
-            state = _SegmentState(segment=segment, to_visit=set(cells))
+            state = _SegmentState(
+                segment=segment, to_visit=set(cells),
+                buffer_area=buffer_area(segment.length, self.eps))
             self._states[segment_id] = state
             self.stats.segments_seen += 1
         return state
@@ -365,25 +467,53 @@ class _SOIRun:
         Cells known (from the global inverted index) to hold no relevant
         POI are ticked off ``toVisit`` without touching the POI data.
         """
-        if cell not in state.to_visit:
+        to_visit = state.to_visit
+        if cell not in to_visit:
             return
-        state.to_visit.remove(cell)
-        self.stats.cell_visits += 1
+        to_visit.remove(cell)
+        stats = self.stats
+        stats.cell_visits += 1
         if cell in self._cell_ub:
-            state.mass += segment_mass_in_cell(
-                state.segment, cell, self.cache, self.eps, self.weighted)
+            # Memo hits are the common case on a warm session; serving
+            # them inline skips a function call per (segment, cell) pair.
+            memo = self._mass_cache
+            cached = (memo.get((state.segment.id, cell))
+                      if memo is not None else None)
+            if cached is not None:
+                stats.mass_cache_hits += 1
+                state.mass += cached
+            else:
+                state.mass += segment_mass_in_cell(
+                    state.segment, cell, self.cache, self.eps, self.weighted,
+                    stats=stats, mass_cache=memo)
             self._record_lower_bound(state)
-        if not state.to_visit and not state.final:
+        if not to_visit and not state.final:
             state.final = True
-            self.stats.segments_finalized_in_filter += 1
+            stats.segments_finalized_in_filter += 1
 
     def _finalize(self, state: _SegmentState) -> None:
-        for cell in tuple(state.to_visit):
-            self._update_interest(state, cell)
+        """Visit every remaining cell of a segment with one batched kernel.
+
+        Equivalent to calling :meth:`_update_interest` per remaining cell:
+        the batched kernel accumulates per-cell contributions in the same
+        visit order (bit-identical floats), and recording the lower bound
+        once with the final mass subsumes the intermediate records (the
+        street map keeps the maximum, and mass only grows).
+        """
+        to_visit = tuple(state.to_visit)
+        if to_visit:
+            self.stats.cell_visits += len(to_visit)
+            relevant = [cell for cell in to_visit if cell in self._cell_ub]
+            if relevant:
+                state.mass += segment_mass_batched(
+                    state.segment, relevant, self.cache, self.eps,
+                    self.weighted, stats=self.stats,
+                    mass_cache=self._mass_cache)
+            state.to_visit.clear()
         if not state.final:
             state.final = True
             self.stats.segments_finalized_in_filter += 1
-            self._record_lower_bound(state)
+        self._record_lower_bound(state)
 
     def _record_lower_bound(self, state: _SegmentState) -> None:
         if state.mass <= 0.0:
@@ -391,7 +521,13 @@ class _SOIRun:
             # streets are not reported); skipping keeps the street map
             # small and LBk a valid lower bound.
             return
-        value = segment_interest(state.mass, state.segment.length, self.eps)
+        # Definition 2 with the state's precomputed denominator — the same
+        # buffer_area(length, eps) value segment_interest would derive, so
+        # the quotient is bitwise identical.
+        if contracts.ENABLED:
+            contracts.check_definition2(
+                state.mass, state.segment.length, self.eps)
+        value = state.mass / state.buffer_area
         street_id = state.segment.street_id
         if value > self._street_best_lb.get(street_id, 0.0):
             self._street_best_lb[street_id] = value
@@ -428,7 +564,10 @@ class _SOIRun:
         exact: dict[int, tuple[float, int]] = {}
 
         def record_exact(state: _SegmentState) -> None:
-            value = segment_interest(state.mass, state.segment.length, self.eps)
+            if contracts.ENABLED:
+                contracts.check_definition2(
+                    state.mass, state.segment.length, self.eps)
+            value = state.mass / state.buffer_area
             street_id = state.segment.street_id
             best = exact.get(street_id)
             if best is None or value > best[0]:
@@ -478,10 +617,12 @@ class _SOIRun:
         ]
 
     def _finalize_exact(self, state: _SegmentState) -> None:
-        for cell in state.to_visit:
-            self.stats.cell_visits += 1
-            if cell in self._cell_ub:
-                state.mass += segment_mass_in_cell(
-                    state.segment, cell, self.cache, self.eps, self.weighted)
+        to_visit = tuple(state.to_visit)
+        self.stats.cell_visits += len(to_visit)
+        relevant = [cell for cell in to_visit if cell in self._cell_ub]
+        if relevant:
+            state.mass += segment_mass_batched(
+                state.segment, relevant, self.cache, self.eps, self.weighted,
+                stats=self.stats, mass_cache=self._mass_cache)
         state.to_visit.clear()
         state.final = True

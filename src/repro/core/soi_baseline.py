@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from repro.core.interest import (
     RelevantCellCache,
     segment_interest,
-    segment_mass_in_cell,
+    segment_mass_batched,
     validate_query,
 )
 from repro.core.results import SOIResult
@@ -42,6 +42,7 @@ class BaselineSOI:
         eps: float = DEFAULT_EPS,
         weighted: bool = False,
         aggregate: StreetAggregate | None = None,
+        use_session: bool = True,
     ) -> list[SOIResult]:
         """Top-k streets by exhaustive computation.
 
@@ -55,7 +56,8 @@ class BaselineSOI:
         """
         from repro.core.aggregates import StreetAggregate, rank_streets
 
-        interests = self.all_segment_interests(keywords, k, eps, weighted)
+        interests = self.all_segment_interests(keywords, k, eps, weighted,
+                                               use_session=use_session)
         network = self.engine.network
         if aggregate is None or aggregate is StreetAggregate.MAX:
             best: dict[int, tuple[float, int]] = {}
@@ -95,20 +97,35 @@ class BaselineSOI:
         k: int = 1,
         eps: float = DEFAULT_EPS,
         weighted: bool = False,
+        use_session: bool = True,
+        stats=None,
     ) -> dict[int, float]:
         """Exact Definition 2 interest of *every* segment.
 
         Also used by the effectiveness experiments that need the full
-        ranking rather than just the top k.
+        ranking rather than just the top k.  One batched distance kernel
+        runs per segment (over its whole ``eps``-neighbourhood), and with
+        ``use_session=True`` the per-cell materialisations and masses are
+        shared with the engine's other queries on the same keyword set.
+        ``stats`` (an :class:`~repro.core.results.SOIStats` or compatible)
+        collects kernel/cache counters.
         """
         query = validate_query(keywords, k, eps)
-        cache = RelevantCellCache(self.engine.poi_index, query)
+        session = (self.engine.sessions.get(query) if use_session else None)
+        if session is not None:
+            cache = session.cache
+            mass_cache = session.mass_cache(eps, weighted)
+            if stats is not None:
+                stats.session_reused = session.queries_served > 0
+            session.queries_served += 1
+        else:
+            cache = RelevantCellCache(self.engine.poi_index, query)
+            mass_cache = None
         cell_maps = self.engine.cell_maps
         out: dict[int, float] = {}
         for segment in self.engine.network.iter_segments():
-            mass = 0.0
-            for cell in cell_maps.cells_of_segment(segment.id, eps):
-                mass += segment_mass_in_cell(segment, cell, cache, eps,
-                                             weighted)
+            mass = segment_mass_batched(
+                segment, cell_maps.cells_of_segment(segment.id, eps),
+                cache, eps, weighted, stats=stats, mass_cache=mass_cache)
             out[segment.id] = segment_interest(mass, segment.length, eps)
         return out

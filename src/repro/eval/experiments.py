@@ -124,7 +124,13 @@ def soi_timing(
     eps: float = DEFAULT_EPS,
     repeats: int = 3,
 ) -> dict[str, float]:
-    """Best-of-N seconds for SOI and BL on one parameter point."""
+    """Best-of-N seconds for SOI and BL on one parameter point.
+
+    Queries run through the engine's session pool (the production path),
+    so a sweep over ``k``/``|Psi|`` measures warm-session behaviour after
+    its first point — the regime the Figure 4 experiment sweeps anyway.
+    Both SOI and BL share the same session, keeping the comparison fair.
+    """
     engine = engine_for(city)
     baseline = BaselineSOI(engine)
     _res, soi_seconds = best_of(
@@ -190,12 +196,24 @@ def describe_scores(
     k: int = 3,
     lam: float = 0.5,
     w: float = 0.5,
+    jobs: int | None = 1,
 ) -> dict[str, float]:
-    """Table 3: per-method objective scores normalised to ST_Rel+Div."""
-    raw: dict[str, float] = {}
-    for name in VARIANTS:
-        positions = run_variant(profile, name, k, lam, w)
-        raw[name] = objective_value(profile, positions, lam, w)
+    """Table 3: per-method objective scores normalised to ST_Rel+Div.
+
+    The variants are independent (each reads the shared profile and keeps
+    its own state), so ``jobs`` fans them out via
+    :func:`~repro.perf.parallel.run_parallel`; the default ``jobs=1`` stays
+    sequential, which is what timed callers want.
+    """
+    from repro.perf.parallel import run_parallel
+
+    names = list(VARIANTS)
+    scored = run_parallel(
+        [lambda n=name: objective_value(
+            profile, run_variant(profile, n, k, lam, w), lam, w)
+         for name in names],
+        jobs=jobs)
+    raw: dict[str, float] = dict(zip(names, scored))
     anchor = raw["ST_Rel+Div"]
     if anchor <= 0:
         return raw

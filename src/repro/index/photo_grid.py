@@ -20,8 +20,14 @@ from typing import Iterator
 from repro.data.photo import PhotoSet
 from repro.errors import GridIndexError
 from repro.geometry.bbox import BBox
+from repro.geometry.distance import point_bbox_mindist
 from repro.index.grid import CellCoord, UniformGrid
 from repro.index.inverted import CellInvertedIndex
+
+#: Relative slack on ``rho`` for the ring-3 reachability guard of
+#: :meth:`PhotoGridIndex.spatial_reach_count` — generous against the
+#: ~1e-12 relative error of floating-point cell assignment.
+_REACH_RTOL = 1e-9
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +125,37 @@ class PhotoGridIndex:
             cell = self._cells.get(neighbor)
             if cell is not None:
                 total += len(cell)
+        return total
+
+    def spatial_reach_count(self, coord: CellCoord) -> int:
+        """Photos that could lie within ``rho`` of a photo in ``coord``.
+
+        The numerator of the spatial relevance upper bound (Equation 12).
+        With cell side ``rho / 2`` every such photo sits within Chebyshev
+        distance 2 in exact arithmetic — but floating-point cell
+        assignment can push a photo lying exactly on a cell boundary at
+        distance exactly ``rho`` one ring further out (two quotients
+        rounding across an integer in opposite directions).  Photos of the
+        third ring are therefore also counted when they are still within
+        ``rho`` of this cell's rectangle, which keeps the bound valid at
+        the boundary without loosening it anywhere else.
+        """
+        total = self.neighborhood_count(coord, radius=2)
+        box = self.grid.cell_bbox(coord)
+        limit = self.rho * (1.0 + _REACH_RTOL)
+        i, j = coord
+        xs, ys = self.photos.xs, self.photos.ys
+        for di in range(-3, 4):
+            for dj in range(-3, 4):
+                if max(abs(di), abs(dj)) != 3:
+                    continue
+                cell = self._cells.get((i + di, j + dj))
+                if cell is None:
+                    continue
+                for pos in cell.positions:
+                    if point_bbox_mindist(float(xs[pos]), float(ys[pos]),
+                                          box) <= limit:
+                        total += 1
         return total
 
     @property

@@ -1,0 +1,220 @@
+"""The ``repro bench`` harness: timed Figure 4 / Figure 6 configurations.
+
+Measures the two hot paths this layer optimises — k-SOI parameter sweeps
+(Figure 4's ``k`` and ``|Psi|`` axes, SOI algorithm vs the BL baseline)
+and greedy photo selection (Figure 6, naive greedy vs ST_Rel+Div) — and
+writes ``BENCH_soi.json`` / ``BENCH_describe.json`` reports that combine:
+
+* **medians**: the median full-sweep wall time over ``repeats`` runs plus
+  per-point medians (robust against scheduler noise, comparable across
+  commits as long as the machine is);
+* **work counters**: kernel calls, cache traffic and pruning counts from
+  :class:`~repro.core.results.SOIStats` /
+  :class:`~repro.core.describe.stats.DescribeStats` — machine-independent
+  evidence of *why* a timing moved, including a cold-vs-warm query pair
+  that shows what :class:`~repro.perf.session.QuerySession` reuse saves.
+
+Timed sections always run sequentially (Python threads share the GIL, so
+parallel timing would measure contention); ``jobs`` only parallelises the
+untimed setup of per-city datasets and engines via
+:func:`~repro.perf.parallel.run_parallel`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.describe.greedy import GreedyDescriber
+from repro.core.describe.profile import StreetProfile, build_street_profile
+from repro.core.describe.st_rel_div import STRelDivDescriber
+from repro.core.soi import DEFAULT_EPS, SOIEngine
+from repro.core.soi_baseline import BaselineSOI
+from repro.datagen.city import City
+from repro.datagen.presets import build_preset
+from repro.eval.experiments import PAPER_QUERY_KEYWORDS
+from repro.perf.parallel import run_parallel
+
+DEFAULT_CITIES: tuple[str, ...] = ("vienna", "berlin", "london")
+SOI_KS: tuple[int, ...] = (10, 25, 50, 100)
+SOI_PSIS: tuple[int, ...] = (1, 2, 3, 4)
+DESCRIBE_KS: tuple[int, ...] = (10, 20, 30, 40, 50)
+SOI_REPORT = "BENCH_soi.json"
+DESCRIBE_REPORT = "BENCH_describe.json"
+
+
+def median_sweep(
+    fn: Callable[[object], object],
+    points: Sequence[object],
+    repeats: int,
+) -> tuple[float, dict[object, float]]:
+    """Median full-sweep seconds and per-point median seconds.
+
+    Runs ``fn`` over every point ``repeats`` times; the *sweep* median
+    (one pass over all points) is the headline number because sweep reuse
+    is exactly what the session cache accelerates.
+    """
+    sweeps: list[float] = []
+    per_point: dict[object, list[float]] = {p: [] for p in points}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for point in points:
+            s0 = time.perf_counter()
+            fn(point)
+            per_point[point].append(time.perf_counter() - s0)
+        sweeps.append(time.perf_counter() - t0)
+    return (statistics.median(sweeps),
+            {p: statistics.median(v) for p, v in per_point.items()})
+
+
+def environment() -> dict[str, str]:
+    """Version stamps a report needs to be comparable."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def _build_cities(cities: Sequence[str], scale: float,
+                  jobs: int | None) -> list[tuple[str, City, SOIEngine]]:
+    """Datasets and engines per city (untimed; safe to parallelise)."""
+
+    def build(name: str) -> tuple[str, City, SOIEngine]:
+        city = build_preset(name, scale)
+        return name, city, SOIEngine(city.network, city.pois)
+
+    return run_parallel([lambda n=name: build(n) for name in cities],
+                        jobs=jobs)
+
+
+def _cold_warm_counters(
+    engine: SOIEngine, keywords: Sequence[str], k: int, eps: float,
+) -> dict[str, dict[str, int]]:
+    """Counters of a cold query and an identical warm rerun.
+
+    The warm rerun is the session cache's best case: every mass is served
+    from the memo, so ``kernel_calls`` collapses to zero.
+    """
+    engine.invalidate_sessions()
+    _res, cold = engine.top_k_with_stats(keywords, k=k, eps=eps)
+    _res, warm = engine.top_k_with_stats(keywords, k=k, eps=eps)
+    return {"cold": cold.counters(), "warm": warm.counters()}
+
+
+def bench_soi(
+    cities: Sequence[str] = DEFAULT_CITIES,
+    repeats: int = 5,
+    scale: float = 1.0,
+    eps: float = DEFAULT_EPS,
+    jobs: int | None = None,
+) -> dict:
+    """The Figure 4 timing suite: SOI vs BL over ``k`` and ``|Psi|`` sweeps."""
+    keywords = PAPER_QUERY_KEYWORDS[:3]
+    report: dict = {
+        "suite": "soi",
+        "eps": eps,
+        "scale": scale,
+        "repeats": repeats,
+        "ks": list(SOI_KS),
+        "psis": list(SOI_PSIS),
+        "keywords": list(keywords),
+        "environment": environment(),
+        "cities": {},
+    }
+    for name, _city, engine in _build_cities(cities, scale, jobs):
+        engine.cell_maps.augmented_cell_counts(eps)  # untimed eps warm-up
+        baseline = BaselineSOI(engine)
+        entry: dict = {}
+        median, points = median_sweep(
+            lambda k: engine.top_k(keywords, k=k, eps=eps), SOI_KS, repeats)
+        entry["soi_k_sweep_median_s"] = median
+        entry["soi_k_points"] = points
+        median, points = median_sweep(
+            lambda k: baseline.top_k(keywords, k=k, eps=eps),
+            SOI_KS, repeats)
+        entry["bl_k_sweep_median_s"] = median
+        entry["bl_k_points"] = points
+        median, points = median_sweep(
+            lambda p: engine.top_k(PAPER_QUERY_KEYWORDS[:p], k=50, eps=eps),
+            SOI_PSIS, repeats)
+        entry["soi_psi_sweep_median_s"] = median
+        entry["soi_psi_points"] = points
+        median, points = median_sweep(
+            lambda p: baseline.top_k(PAPER_QUERY_KEYWORDS[:p], k=50,
+                                     eps=eps),
+            SOI_PSIS, repeats)
+        entry["bl_psi_sweep_median_s"] = median
+        entry["bl_psi_points"] = points
+        entry["counters"] = _cold_warm_counters(engine, keywords, 50, eps)
+        report["cities"][name] = entry
+    return report
+
+
+def _profile_for(city: City, engine: SOIEngine, category: str,
+                 eps: float) -> StreetProfile | None:
+    results = engine.top_k([category], k=1, eps=eps)
+    if not results:
+        return None
+    return build_street_profile(city.network, results[0].street_id,
+                                city.photos, eps)
+
+
+def bench_describe(
+    cities: Sequence[str] = DEFAULT_CITIES,
+    repeats: int = 3,
+    scale: float = 1.0,
+    eps: float = DEFAULT_EPS,
+    jobs: int | None = None,
+    category: str = "shop",
+    lam: float = 0.5,
+    w: float = 0.5,
+) -> dict:
+    """The Figure 6 timing suite: greedy BL vs ST_Rel+Div over ``k``."""
+    report: dict = {
+        "suite": "describe",
+        "eps": eps,
+        "scale": scale,
+        "repeats": repeats,
+        "ks": list(DESCRIBE_KS),
+        "category": category,
+        "lam": lam,
+        "w": w,
+        "environment": environment(),
+        "cities": {},
+    }
+    for name, city, engine in _build_cities(cities, scale, jobs):
+        profile = _profile_for(city, engine, category, eps)
+        if profile is None or len(profile) == 0:
+            report["cities"][name] = {"num_photos": 0, "skipped": True}
+            continue
+        greedy = GreedyDescriber(profile)
+        st = STRelDivDescriber(profile)
+        entry: dict = {"num_photos": len(profile),
+                       "street": profile.street_name}
+        median, points = median_sweep(
+            lambda k: greedy.select(k, lam, w), DESCRIBE_KS, repeats)
+        entry["bl_k_sweep_median_s"] = median
+        entry["bl_k_points"] = points
+        median, points = median_sweep(
+            lambda k: st.select(k, lam, w), DESCRIBE_KS, repeats)
+        entry["st_k_sweep_median_s"] = median
+        entry["st_k_points"] = points
+        top_k = DESCRIBE_KS[-1]
+        _pos, bl_stats = greedy.select_with_stats(top_k, lam, w)
+        _pos, st_stats = st.select_with_stats(top_k, lam, w)
+        entry["counters"] = {f"bl_k{top_k}": bl_stats.counters(),
+                             f"st_k{top_k}": st_stats.counters()}
+        report["cities"][name] = entry
+    return report
+
+
+def write_report(report: dict, path: Path) -> None:
+    """Write one bench report as stable, diff-friendly JSON."""
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")

@@ -1,0 +1,47 @@
+"""Deterministic-order parallel execution of independent experiment tasks.
+
+The evaluation drivers run many independent units of work — one bench per
+city, one variant per describe method, one configuration per sweep point.
+:func:`run_parallel` fans such thunks out over a thread pool and returns
+their results **in submission order**, so downstream reports stay
+deterministic regardless of completion order.
+
+Threads (not processes) are used deliberately: the hot kernels release the
+GIL inside NumPy, the engines/caches are shared (a process pool would have
+to re-pickle them), and a failed task propagates its exception unchanged.
+Pure-Python phases still serialise on the GIL, so *timed* measurements
+should keep ``jobs=1`` — the bench harness parallelises only the untimed
+setup work by default and documents the caveat for everything else.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def run_parallel(tasks: Sequence[Callable[[], T]],
+                 jobs: int | None = None) -> list[T]:
+    """Run independent thunks, returning results in submission order.
+
+    ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` (or a single task)
+    degrades to a plain sequential loop with no executor overhead.  The
+    first task exception is re-raised after all submitted tasks settle.
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs == 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]

@@ -1,0 +1,154 @@
+"""Keyword-signature query sessions: cross-query reuse of materialisations.
+
+A k-SOI parameter sweep (varying ``k``, ``eps`` or the access strategy)
+re-runs the engine with the *same normalised keyword set* many times, and
+every run used to rebuild the same per-cell materialisations from scratch:
+the relevant-POI gather of each visited cell, the per-cell relevant-count
+upper bounds that seed SL1, and — most expensively — the per
+``(segment, cell)`` mass contributions of Definition 1.
+
+A :class:`QuerySession` owns exactly those three caches for one keyword
+signature:
+
+* the :class:`~repro.core.interest.RelevantCellCache` (positions and
+  coordinate arrays of each cell's relevant POIs);
+* the per-cell relevant-count aggregate ``|P_Psi(c)|`` (Algorithm 1,
+  line 2), which depends only on the keywords — not on ``k``/``eps``;
+* per-``(eps, weighted)`` mass memos keyed ``(segment_id, cell)``.  A
+  cached mass is the bitwise-exact float the kernel would recompute, so
+  serving it cannot change any downstream comparison or bound.
+
+Sessions live in a :class:`QuerySessionPool` with an LRU bound on retained
+signatures.  The pool must be **explicitly invalidated when the indexes it
+reads are rebuilt** (:meth:`~repro.core.soi.SOIEngine.rebuild_indexes`
+does this); stale sessions are discarded wholesale rather than patched.
+
+Thread-compatibility: session caches are only ever *added to* (a lost
+update merely recomputes a value), and the pool serialises its LRU
+book-keeping behind a lock, so concurrent queries from
+:func:`repro.perf.parallel.run_parallel` are safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.core.interest import RelevantCellCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index.grid import CellCoord
+    from repro.index.poi_grid import POIGridIndex
+
+DEFAULT_MAX_SESSIONS = 8
+"""How many keyword signatures a pool retains by default.  A sweep touches
+one signature at a time; interactive workloads rarely rotate through more
+than a handful of keyword sets before the oldest is cold anyway."""
+
+
+class QuerySession:
+    """All cached per-query materialisations for one keyword signature."""
+
+    __slots__ = ("signature", "generation", "cache", "_poi_index",
+                 "_cell_ub", "_mass", "queries_served")
+
+    def __init__(self, poi_index: "POIGridIndex",
+                 signature: frozenset[str], generation: int = 0) -> None:
+        self.signature = signature
+        self.generation = generation
+        self._poi_index = poi_index
+        self.cache = RelevantCellCache(poi_index, signature)
+        self._cell_ub: dict["CellCoord", int] | None = None
+        self._mass: dict[tuple[float, bool],
+                         dict[tuple[int, "CellCoord"], float]] = {}
+        self.queries_served = 0
+
+    def cell_upper_bounds(self) -> dict["CellCoord", int]:
+        """``|P_Psi(c)| > 0`` per candidate cell (Algorithm 1, line 2).
+
+        Computed once per signature; every sweep configuration seeds its
+        SL1 from this aggregate instead of re-scanning the global index.
+        """
+        if self._cell_ub is None:
+            bounds: dict["CellCoord", int] = {}
+            for cell in self._poi_index.candidate_cells(self.signature):
+                ub = self._poi_index.relevant_count_upper_bound(
+                    cell, self.signature)
+                if ub > 0:
+                    bounds[cell] = ub
+            self._cell_ub = bounds
+        return self._cell_ub
+
+    def mass_cache(self, eps: float,
+                   weighted: bool) -> dict[tuple[int, "CellCoord"], float]:
+        """The ``(segment_id, cell) -> mass`` memo for one ``(eps, weighted)``."""
+        key = (eps, weighted)
+        memo = self._mass.get(key)
+        if memo is None:
+            memo = {}
+            self._mass[key] = memo
+        return memo
+
+    def cached_masses(self) -> int:
+        """Total memoised ``(segment, cell)`` contributions (for reports)."""
+        return sum(len(memo) for memo in self._mass.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuerySession(signature={sorted(self.signature)!r}, "
+                f"cells={len(self.cache)}, masses={self.cached_masses()})")
+
+
+class QuerySessionPool:
+    """LRU pool of :class:`QuerySession` objects, one per keyword signature."""
+
+    def __init__(self, poi_index: "POIGridIndex",
+                 maxsize: int = DEFAULT_MAX_SESSIONS) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be at least 1, got {maxsize}")
+        self._poi_index = poi_index
+        self.maxsize = maxsize
+        self.generation = 0
+        self._sessions: OrderedDict[frozenset[str], QuerySession] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, signature: frozenset[str]) -> QuerySession:
+        """The session for a normalised keyword set (created on first use)."""
+        with self._lock:
+            session = self._sessions.get(signature)
+            if session is None:
+                session = QuerySession(self._poi_index, signature,
+                                       self.generation)
+                self._sessions[signature] = session
+                while len(self._sessions) > self.maxsize:
+                    self._sessions.popitem(last=False)
+                    self.evictions += 1
+            else:
+                self._sessions.move_to_end(signature)
+            return session
+
+    def peek(self, signature: frozenset[str]) -> QuerySession | None:
+        """The retained session, if any, without touching LRU order."""
+        with self._lock:
+            return self._sessions.get(signature)
+
+    def invalidate(self, poi_index: "POIGridIndex | None" = None) -> None:
+        """Drop every session (call after the indexes are rebuilt).
+
+        Passing the freshly built ``poi_index`` re-targets future sessions
+        at it; omitting it keeps the current index (useful for tests and
+        for bounding memory without a rebuild).
+        """
+        with self._lock:
+            self._sessions.clear()
+            self.generation += 1
+            if poi_index is not None:
+                self._poi_index = poi_index
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, signature: frozenset[str]) -> bool:
+        return signature in self._sessions

@@ -68,6 +68,41 @@ class TestDescribe:
                      "--keywords", "warpdrive"]) == 1
 
 
+class TestBench:
+    def test_writes_reports_with_medians_and_counters(self, tmp_path,
+                                                      capsys):
+        import json
+
+        assert main(["bench", "--suite", "all", "--cities", "vienna",
+                     "--repeats", "1", "--scale", "0.05",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_soi.json" in out and "BENCH_describe.json" in out
+
+        soi = json.loads((tmp_path / "BENCH_soi.json").read_text())
+        assert soi["suite"] == "soi"
+        entry = soi["cities"]["vienna"]
+        assert entry["soi_k_sweep_median_s"] > 0
+        assert entry["bl_psi_sweep_median_s"] > 0
+        assert set(entry["counters"]) == {"cold", "warm"}
+        # The warm rerun of an identical query is fully memo-served.
+        assert entry["counters"]["warm"]["kernel_calls"] == 0
+        assert entry["counters"]["warm"]["session_reused"] == 1
+        assert "python" in soi["environment"]
+
+        describe = json.loads(
+            (tmp_path / "BENCH_describe.json").read_text())
+        assert describe["suite"] == "describe"
+        assert "vienna" in describe["cities"]
+
+    def test_single_suite_writes_one_file(self, tmp_path, capsys):
+        assert main(["bench", "--suite", "soi", "--cities", "vienna",
+                     "--repeats", "1", "--scale", "0.05",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_soi.json").exists()
+        assert not (tmp_path / "BENCH_describe.json").exists()
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

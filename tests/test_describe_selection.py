@@ -95,6 +95,21 @@ class TestSTRelDivEquivalence:
         fast = STRelDivDescriber(profile).select(k, lam, w)
         assert fast == greedy
 
+    def test_matches_greedy_at_exact_rho_boundary(self):
+        # Two photos exactly rho apart, both on photo-grid cell
+        # boundaries: floating-point cell assignment can separate them by
+        # three cells, and without the spatial_reach_count guard the
+        # Equation 12 upper bound missed the neighbour, pruning the true
+        # best photo.
+        photos = PhotoSet([Photo(0, 0.0001, 0.0, frozenset()),
+                           Photo(1, 0.0, 0.0, frozenset())])
+        extent = BBox(-0.001, -0.001, 0.021, 0.021)
+        profile = StreetProfile(photos=photos,
+                                phi=KeywordFrequencyVector({}),
+                                max_d=extent.diagonal, extent=extent)
+        greedy = GreedyDescriber(profile).select(2)
+        assert STRelDivDescriber(profile).select(2) == greedy == [0, 1]
+
     def test_matches_greedy_on_real_profile(self, small_city, small_engine):
         top = small_engine.top_k(["shop"], k=1, eps=0.0005)[0]
         profile = build_street_profile(small_city.network, top.street_id,

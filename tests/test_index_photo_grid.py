@@ -88,6 +88,27 @@ class TestNeighborhoodCount:
             near = index.neighborhood_count(cell.coord, radius=2)
             assert len(cell) == own <= near <= total
 
+    def test_spatial_reach_matches_neighborhood_in_the_interior(self):
+        index = _index()
+        for cell in index.cells():
+            assert index.spatial_reach_count(cell.coord) == \
+                index.neighborhood_count(cell.coord, radius=2)
+
+    def test_spatial_reach_covers_exact_rho_boundary(self):
+        # Distance exactly rho with both photos on cell boundaries: the
+        # floor-based cell assignment can land them 3 cells apart (their
+        # quotients round across an integer in opposite directions), which
+        # a bare Chebyshev-2 count misses — the Equation 12 regression
+        # behind ST_Rel+Div disagreeing with the naive greedy.
+        photos = PhotoSet([Photo(0, 0.0001, 0.0, frozenset()),
+                           Photo(1, 0.0, 0.0, frozenset())])
+        index = PhotoGridIndex(photos, BBox(-0.001, -0.001, 0.021, 0.021),
+                               rho=0.0001)
+        for position in range(2):
+            coord = index.grid.cell_of(float(photos.xs[position]),
+                                       float(photos.ys[position]))
+            assert index.spatial_reach_count(coord) == 2
+
     @given(random_photos(min_size=1, max_size=30))
     def test_every_photo_in_exactly_one_cell(self, photos):
         index = PhotoGridIndex(photos, BBox(0, 0, 0.02, 0.02), rho=0.004)

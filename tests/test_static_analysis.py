@@ -236,6 +236,86 @@ def test_h304_deprecated_name():
     assert lint_source(ok, relpath="repro/eval/x.py", config=CONFIG) == []
 
 
+# -- performance rules --------------------------------------------------------
+
+def test_p401_flags_sorted_in_loop_body():
+    src = ("def f(items, groups):\n"
+           "    out = []\n"
+           "    for group in groups:\n"
+           "        for x in sorted(items):\n"
+           "            out.append((group, x))\n"
+           "    return out\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P401"]
+    assert "loop at line 3" in findings[0].message
+
+
+def test_p401_accepts_loop_header_and_hoisted_sorts():
+    src = ("def f(items, groups):\n"
+           "    ordered = sorted(items)\n"
+           "    for x in sorted(groups):\n"
+           "        use(x, ordered)\n"
+           "    while sorted(items) != items:\n"
+           "        items = step(items)\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_p401_stops_at_function_boundaries():
+    src = ("def f(groups):\n"
+           "    for group in groups:\n"
+           "        def key(item):\n"
+           "            return sorted(item.tags)\n"
+           "        use(group, key)\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_p401_only_in_perf_checked_dirs():
+    src = ("def f(items, groups):\n"
+           "    for group in groups:\n"
+           "        use(sorted(items))\n")
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+
+
+def test_p402_flags_list_membership_in_loop():
+    src = ("def f(items):\n"
+           "    wanted = [1, 2, 3]\n"
+           "    for x in items:\n"
+           "        if x in wanted:\n"
+           "            use(x)\n"
+           "        if x not in list(items):\n"
+           "            use(x)\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P402", "REP-P402"]
+
+
+def test_p402_accepts_sets_dicts_and_untraceable_names():
+    src = ("def f(items, wanted):\n"
+           "    seen = {1, 2, 3}\n"
+           "    for x in items:\n"
+           "        if x in seen:\n"
+           "            use(x)\n"
+           "        if x in wanted:\n"  # parameter: untraceable, silent
+           "            use(x)\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_p402_conservative_on_reassigned_names():
+    src = ("def f(items):\n"
+           "    wanted = [1, 2]\n"
+           "    wanted = frozenset(wanted)\n"
+           "    for x in items:\n"
+           "        if x in wanted:\n"
+           "            use(x)\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_p402_membership_outside_loop_is_fine():
+    src = ("def f(x):\n"
+           "    wanted = [1, 2, 3]\n"
+           "    return x in wanted\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
 # -- suppressions, parse errors, baseline -------------------------------------
 
 def test_suppression_with_reason_silences_finding():
