@@ -39,6 +39,12 @@ class LintConfig:
     wallclock_checked_dirs: tuple[str, ...] = ("core", "index")
     division_checked_dirs: tuple[str, ...] = ("core", "geometry")
     perf_checked_dirs: tuple[str, ...] = ("core",)
+    # The import closure of a serving worker process (repro.serve.server
+    # and everything it pulls in): module-level mutable caches there are
+    # fork/spawn hazards (REP-P403) because each worker fills its own
+    # silently diverging copy.
+    serve_checked_dirs: tuple[str, ...] = (
+        "core", "data", "geometry", "index", "network", "perf", "serve")
     assume_positive: tuple[str, ...] = ("buffer_area", "max_d")
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})

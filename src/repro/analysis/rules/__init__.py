@@ -205,6 +205,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
     )
     from repro.analysis.rules.perf import (
         ListMembershipInLoopRule,
+        ModuleLevelMutableCacheRule,
         SortedInLoopRule,
     )
 
@@ -221,6 +222,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         DeprecatedNameRule(),
         SortedInLoopRule(),
         ListMembershipInLoopRule(),
+        ModuleLevelMutableCacheRule(),
     )
     disabled = set(config.disabled_rules)
     return tuple(rule for rule in rules if rule.id not in disabled)

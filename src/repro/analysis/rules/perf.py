@@ -15,8 +15,22 @@ detect statically:
   loop body scans linearly per iteration; test against a ``set``/``dict``
   (or a precomputed flag array) instead.
 
-Both rules stop at function boundaries when climbing out of the loop: a
-function *defined* in a loop body executes on call, not per iteration.
+Both loop rules stop at function boundaries when climbing out of the
+loop: a function *defined* in a loop body executes on call, not per
+iteration.
+
+A third rule guards the multiprocess serving path
+(``serve-checked-dirs``, defaulting to the import closure of
+``repro.serve.server`` workers):
+
+* **REP-P403** — a module-level *mutable cache* (a name bound at module
+  scope to an empty ``dict``/``list``/``set``/``defaultdict``/... , or a
+  module-level function decorated with ``functools.lru_cache``/
+  ``functools.cache``) is a fork/spawn hazard: every worker process
+  fills its own copy, the copies diverge silently, and warm state never
+  transfers through the shared-memory snapshot.  Keep such caches on an
+  engine/session instance (e.g. :class:`repro.perf.session.QuerySessionPool`)
+  so their lifetime and invalidation are explicit.
 """
 
 from __future__ import annotations
@@ -138,4 +152,78 @@ class ListMembershipInLoopRule(Rule):
                     f"every iteration (loop at line {loop.lineno})")
 
 
-__all__ = ["ListMembershipInLoopRule", "SortedInLoopRule"]
+_EMPTY_MUTABLE_CALLS = frozenset({
+    "dict", "list", "set",
+    "collections.OrderedDict", "collections.Counter", "collections.deque",
+})
+_FACTORY_CALLS = frozenset({"collections.defaultdict"})
+_CACHE_DECORATORS = frozenset({"functools.lru_cache", "functools.cache"})
+
+
+def _is_empty_mutable(node: ast.expr, ctx: FileContext) -> bool:
+    """True when the expression builds a provably *empty* mutable container.
+
+    Empty-at-import is the cache signature: a populated module-level dict
+    is usually a constant table, an empty one exists to be filled at
+    runtime.  ``defaultdict(...)`` counts with up to one positional
+    argument (the default factory)."""
+    if isinstance(node, (ast.Dict, ast.List)):
+        return not (node.keys if isinstance(node, ast.Dict) else node.elts)
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = ctx.imports.canonical_call_name(node.func)
+    if dotted in _EMPTY_MUTABLE_CALLS:
+        return not node.args and not node.keywords
+    if dotted in _FACTORY_CALLS:
+        return len(node.args) <= 1 and not node.keywords
+    return False
+
+
+class ModuleLevelMutableCacheRule(Rule):
+    id = "REP-P403"
+    name = "module-level-mutable-cache"
+    hint = ("keep per-process caches on an engine/session instance with "
+            "explicit invalidation; module-level mutable state is filled "
+            "independently (and diverges silently) in every fork/spawn "
+            "serving worker")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(ctx.config.serve_checked_dirs):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(ctx.parent(node), ast.Module):
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in node.decorator_list:
+                    target = deco.func if isinstance(deco, ast.Call) else deco
+                    dotted = ctx.imports.canonical_call_name(target)
+                    if dotted in _CACHE_DECORATORS:
+                        yield self.finding(
+                            ctx, deco,
+                            f"@{dotted} on module-level '{node.name}' keeps "
+                            "a per-process memo table that serving workers "
+                            "fill independently")
+                continue
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not _is_empty_mutable(value, ctx):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"module-level mutable container '{name}' starts empty "
+                    "— a cache that every serving worker process fills "
+                    "with its own diverging copy")
+
+
+__all__ = ["ListMembershipInLoopRule", "ModuleLevelMutableCacheRule",
+           "SortedInLoopRule"]

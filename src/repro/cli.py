@@ -7,8 +7,11 @@ Six subcommands cover the everyday workflow without writing Python:
 * ``repro stats``    — print Table-1-style statistics for a saved city;
 * ``repro soi``      — answer a k-SOI query over a saved city;
 * ``repro describe`` — photo-summarise a street of a saved city;
-* ``repro bench``    — run the Figure 4 / Figure 6 performance suites and
-  write ``BENCH_soi.json`` / ``BENCH_describe.json`` reports;
+* ``repro bench``    — run the Figure 4 / Figure 6 latency suites
+  (``BENCH_soi.json`` / ``BENCH_describe.json``) or, with
+  ``--mode throughput``, the multiprocess serving bench
+  (``BENCH_serve.json``); ``--check-against`` compares the fresh report
+  to a committed baseline and fails on regressions;
 * ``repro lint``     — run the repo's custom static-analysis pass.
 
 ``repro soi --check`` / ``repro describe --check`` additionally enable the
@@ -96,9 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Time the Figure 4 (k-SOI sweeps) and Figure 6 "
                     "(greedy describe) configurations on synthetic city "
                     "presets and write JSON reports with medians and "
-                    "work counters.")
+                    "work counters; --mode throughput instead replays a "
+                    "seeded mixed workload through the repro.serve "
+                    "process pool and appends QPS/latency records to "
+                    "BENCH_serve.json.")
+    bench.add_argument("--mode", choices=("latency", "throughput"),
+                       default="latency",
+                       help="latency: sequential Figure 4/6 suites; "
+                            "throughput: multiprocess EngineServer replay")
     bench.add_argument("--suite", choices=("soi", "describe", "all"),
-                       default="all")
+                       default="all",
+                       help="which latency suites to run "
+                            "(ignored with --mode throughput)")
     bench.add_argument("--cities", nargs="+", default=None,
                        metavar="PRESET",
                        help="city presets to measure (default: "
@@ -111,8 +123,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", type=Path, default=Path("."),
                        help="directory for the BENCH_*.json reports")
     bench.add_argument("--jobs", type=int, default=None,
-                       help="workers for the untimed per-city setup "
-                            "(timed sections always run sequentially)")
+                       help="thread workers for the untimed per-city "
+                            "setup; timed work is either sequential "
+                            "(latency suites) or runs on the --workers "
+                            "process pool (throughput mode)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="max worker processes for --mode throughput; "
+                            "the sweep measures 1..N (default 4)")
+    bench.add_argument("--concurrency", type=int, default=None,
+                       help="max in-flight queries per throughput run "
+                            "(default: 4 per worker)")
+    bench.add_argument("--queries", type=int, default=64,
+                       help="workload size per city for --mode "
+                            "throughput (default 64)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="workload RNG seed for --mode throughput")
+    bench.add_argument("--verify", action="store_true",
+                       help="throughput mode: also replay the workload "
+                            "in-process and fail unless worker payloads "
+                            "are identical")
+    bench.add_argument("--check-against", type=Path, default=None,
+                       metavar="FILE",
+                       help="compare the fresh report of the same suite "
+                            "against this committed BENCH_*.json and "
+                            "exit non-zero when medians/QPS regress")
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="relative regression tolerance for "
+                            "--check-against (default 0.2)")
 
     lint = sub.add_parser(
         "lint", help="run the custom static-analysis pass",
@@ -210,23 +247,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     cities = tuple(args.cities) if args.cities else bench.DEFAULT_CITIES
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
-    if args.suite in ("soi", "all"):
-        report = bench.bench_soi(
-            cities, repeats=args.repeats or 5, scale=args.scale,
-            jobs=args.jobs)
-        path = args.out / bench.SOI_REPORT
-        bench.write_report(report, path)
+    produced: dict[str, dict] = {}
+    if args.mode == "throughput":
+        run = bench.bench_throughput(
+            cities, workers=args.workers, concurrency=args.concurrency,
+            queries=args.queries, seed=args.seed, scale=args.scale,
+            jobs=args.jobs, verify=args.verify)
+        path = args.out / bench.SERVE_REPORT
+        bench.append_serve_run(run, path)
+        produced["serve"] = run
         written.append(path)
-    if args.suite in ("describe", "all"):
-        report = bench.bench_describe(
-            cities, repeats=args.repeats or 3, scale=args.scale,
-            jobs=args.jobs)
-        path = args.out / bench.DESCRIBE_REPORT
-        bench.write_report(report, path)
-        written.append(path)
+        for name, entry in run["cities"].items():
+            speedups = entry["qps_speedup_vs_1_worker"]
+            best = max(speedups.values())
+            print(f"{name}: " + ", ".join(
+                f"{rec['workers']}w {rec['qps']:.1f} qps"
+                for rec in entry["records"])
+                + f" (best speedup {best:.2f}x)")
+    else:
+        if args.suite in ("soi", "all"):
+            report = bench.bench_soi(
+                cities, repeats=args.repeats or 5, scale=args.scale,
+                jobs=args.jobs)
+            path = args.out / bench.SOI_REPORT
+            bench.write_report(report, path)
+            produced["soi"] = report
+            written.append(path)
+        if args.suite in ("describe", "all"):
+            report = bench.bench_describe(
+                cities, repeats=args.repeats or 3, scale=args.scale,
+                jobs=args.jobs)
+            path = args.out / bench.DESCRIBE_REPORT
+            bench.write_report(report, path)
+            produced["describe"] = report
+            written.append(path)
     for path in written:
         print(f"wrote {path}")
+    if args.check_against is not None:
+        return _check_against_baseline(args, produced)
     return 0
+
+
+def _check_against_baseline(args: argparse.Namespace,
+                            produced: dict[str, dict]) -> int:
+    """Compare freshly produced report(s) against a committed baseline."""
+    import json
+
+    from repro.perf import bench
+
+    baseline = json.loads(args.check_against.read_text(encoding="utf-8"))
+    suite = baseline.get("suite")
+    if suite not in produced:
+        print(f"error: baseline {args.check_against} is a {suite!r} report "
+              f"but this run produced {sorted(produced) or 'nothing'}")
+        return 2
+    current = produced[suite]
+    if suite == "serve":
+        # The serve report is an append-only log; compare the new run
+        # against the baseline's most recent run.
+        runs = baseline.get("runs") or []
+        if not runs:
+            print(f"error: baseline {args.check_against} has no runs")
+            return 2
+        baseline = runs[-1]
+    regressions = bench.compare_reports(current, baseline,
+                                        tolerance=args.tolerance)
+    if not regressions:
+        print(f"check-against {args.check_against}: OK "
+              f"(tolerance {args.tolerance:.0%})")
+        return 0
+    print(f"check-against {args.check_against}: "
+          f"{len(regressions)} regression(s) beyond {args.tolerance:.0%}")
+    for item in regressions:
+        print(f"  {item['metric']}: {item['baseline']:.6g} -> "
+              f"{item['current']:.6g} ({item['ratio']:.2f}x, "
+              f"{item['direction']}-is-better)")
+    return 1
 
 
 _COMMANDS = {

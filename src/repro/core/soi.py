@@ -119,11 +119,56 @@ class SOIEngine:
         self.pois = pois
         self._cell_size = cell_size
         self._extent_margin = extent_margin
+        self.index_generation = 0
         self._build_indexes()
         self.sessions = QuerySessionPool(
             self.poi_index,
             maxsize=(DEFAULT_MAX_SESSIONS if session_pool_size is None
                      else session_pool_size))
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        network: RoadNetwork,
+        pois: POISet,
+        poi_index: POIGridIndex,
+        cell_maps: SegmentCellMaps,
+        extent: BBox,
+        sl3_entries: tuple[tuple[int, float], ...],
+        index_generation: int = 0,
+        session_pool_size: int | None = None,
+    ) -> "SOIEngine":
+        """An engine over *already built* index structures.
+
+        The constructor path derives every structure from the raw data;
+        this one wires externally supplied ones instead — it is how
+        :func:`repro.serve.views.attach_engine` rebuilds a serving view
+        over a shared-memory :class:`~repro.serve.snapshot.IndexSnapshot`
+        without re-running index construction.  The caller is responsible
+        for the structures being mutually consistent (same grid, same
+        data); everything derived here (``_max_weight``, the SL2 cache
+        seed) is recomputed from them exactly as ``__init__`` would.
+        """
+        from repro.perf.session import DEFAULT_MAX_SESSIONS, QuerySessionPool
+
+        engine = cls.__new__(cls)
+        engine.network = network
+        engine.pois = pois
+        engine._cell_size = poi_index.grid.cell_size
+        engine._extent_margin = None
+        engine.index_generation = index_generation
+        engine.extent = extent
+        engine.poi_index = poi_index
+        engine.cell_maps = cell_maps
+        engine._max_weight = (float(pois.weights.max()) if len(pois)
+                              else 0.0)
+        engine._sl3_entries = sl3_entries
+        engine._sl2_cache = {}
+        engine.sessions = QuerySessionPool(
+            poi_index,
+            maxsize=(DEFAULT_MAX_SESSIONS if session_pool_size is None
+                     else session_pool_size))
+        return engine
 
     def _build_indexes(self) -> None:
         cell_size = self._cell_size
@@ -160,13 +205,18 @@ class SOIEngine:
         Passing ``cell_size``/``extent_margin`` overrides the construction
         parameters; omitted values keep the current ones.  Every retained
         :class:`~repro.perf.session.QuerySession` is invalidated — their
-        cached materialisations point into the old index.
+        cached materialisations point into the old index — and
+        ``index_generation`` is bumped so that exported
+        :class:`~repro.serve.snapshot.IndexSnapshot` blocks (which record
+        the generation they captured) are recognised as stale by the
+        serving layer.
         """
         if cell_size is not None:
             self._cell_size = cell_size
         if extent_margin is not None:
             self._extent_margin = extent_margin
         self._build_indexes()
+        self.index_generation += 1
         self.sessions.invalidate(self.poi_index)
 
     def invalidate_sessions(self) -> None:

@@ -42,6 +42,31 @@ class QueryError(ReproError):
     empty keyword set where one is required, ...)."""
 
 
+class SnapshotError(ReproError):
+    """A columnar index snapshot could not be exported or attached.
+
+    Raised by :mod:`repro.serve.snapshot` when a shared-memory block is
+    missing, truncated, or carries an incompatible schema version."""
+
+
+class StaleSnapshotError(SnapshotError):
+    """A query was submitted against a snapshot of an older index generation.
+
+    :meth:`repro.core.soi.SOIEngine.rebuild_indexes` bumps the engine's
+    ``index_generation``; snapshots record the generation they were exported
+    at, and :class:`repro.serve.server.EngineServer` refuses queries once
+    the source engine has moved on (call
+    :meth:`~repro.serve.server.EngineServer.refresh` to re-export)."""
+
+
+class WorkerCrashError(ReproError):
+    """A serving worker process died while queries were in flight.
+
+    The :class:`~repro.serve.server.EngineServer` is no longer able to
+    guarantee delivery of the pending results; closing the server still
+    releases and unlinks its shared-memory snapshots."""
+
+
 class ContractViolation(ReproError):
     """A runtime invariant of the paper's algorithms was violated.
 

@@ -14,15 +14,32 @@ writes ``BENCH_soi.json`` / ``BENCH_describe.json`` reports that combine:
   evidence of *why* a timing moved, including a cold-vs-warm query pair
   that shows what :class:`~repro.perf.session.QuerySession` reuse saves.
 
-Timed sections always run sequentially (Python threads share the GIL, so
-parallel timing would measure contention); ``jobs`` only parallelises the
-untimed setup of per-city datasets and engines via
-:func:`~repro.perf.parallel.run_parallel`.
+A third mode measures *throughput* rather than single-query latency:
+``bench_throughput`` replays a seeded mixed k-SOI/describe workload
+(:mod:`repro.serve.workload`) against an
+:class:`~repro.serve.server.EngineServer` process pool at increasing
+worker counts and appends QPS / latency-percentile records to
+``BENCH_serve.json``.
+
+Parallelism is split across two documented code paths: the *untimed*
+per-city setup fans out over threads via
+:func:`~repro.perf.parallel.run_parallel` (``--jobs``), while *timed*
+concurrent query execution always goes through the process-based serving
+pool — never the thread pool, whose pure-Python phases serialise on the
+GIL.  Latency suites (``soi``/``describe``) still time their query loops
+sequentially so medians stay comparable across commits.
+
+Every report carries ``schema_version`` (:data:`SCHEMA_VERSION`) and can
+be compared against a committed baseline with :func:`compare_reports`
+(``repro bench --check-against``), which flags median/QPS regressions
+beyond a tolerance.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
 import platform
 import statistics
 import time
@@ -47,6 +64,12 @@ SOI_PSIS: tuple[int, ...] = (1, 2, 3, 4)
 DESCRIBE_KS: tuple[int, ...] = (10, 20, 30, 40, 50)
 SOI_REPORT = "BENCH_soi.json"
 DESCRIBE_REPORT = "BENCH_describe.json"
+SERVE_REPORT = "BENCH_serve.json"
+
+SCHEMA_VERSION = 2
+"""Report layout version.  Bumped whenever a field is renamed/removed so
+:func:`compare_reports` can refuse cross-schema comparisons; version 1 is
+the implicit schema of reports written before the field existed."""
 
 
 def median_sweep(
@@ -73,11 +96,17 @@ def median_sweep(
             {p: statistics.median(v) for p, v in per_point.items()})
 
 
-def environment() -> dict[str, str]:
-    """Version stamps a report needs to be comparable."""
+def environment() -> dict:
+    """Version and hardware stamps a report needs to be comparable.
+
+    ``cpu_count`` matters most for the throughput suite: worker scaling
+    is physically bounded by the cores available, so a record from a
+    1-core container cannot be judged against a 16-core baseline.
+    """
     return {
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
     }
 
 
@@ -118,6 +147,7 @@ def bench_soi(
     keywords = PAPER_QUERY_KEYWORDS[:3]
     report: dict = {
         "suite": "soi",
+        "schema_version": SCHEMA_VERSION,
         "eps": eps,
         "scale": scale,
         "repeats": repeats,
@@ -178,6 +208,7 @@ def bench_describe(
     """The Figure 6 timing suite: greedy BL vs ST_Rel+Div over ``k``."""
     report: dict = {
         "suite": "describe",
+        "schema_version": SCHEMA_VERSION,
         "eps": eps,
         "scale": scale,
         "repeats": repeats,
@@ -218,3 +249,206 @@ def write_report(report: dict, path: Path) -> None:
     """Write one bench report as stable, diff-friendly JSON."""
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+
+
+# -- throughput suite (BENCH_serve.json) -------------------------------------
+
+def worker_counts(max_workers: int) -> list[int]:
+    """The 1..N sweep points: powers of two up to ``max_workers``, plus N."""
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+    counts = {1 << shift for shift in range(max_workers.bit_length())
+              if 1 << shift <= max_workers}
+    counts.add(max_workers)
+    return sorted(counts)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) as the nearest-rank order statistic."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def bench_throughput(
+    cities: Sequence[str] = DEFAULT_CITIES,
+    workers: int = 4,
+    concurrency: int | None = None,
+    queries: int = 64,
+    seed: int = 0,
+    scale: float = 1.0,
+    eps: float = DEFAULT_EPS,
+    jobs: int | None = None,
+    verify: bool = False,
+) -> dict:
+    """Replay a seeded mixed workload against 1..``workers`` processes.
+
+    For every city and worker count the same ``queries``-request workload
+    is served twice through a fresh :class:`~repro.serve.server.EngineServer`
+    — an untimed warm pass (snapshot attach, session/describer warm-up)
+    and a timed pass — and recorded as QPS plus worker-side latency
+    percentiles.  ``concurrency`` bounds the in-flight window (default:
+    four per worker).  ``verify=True`` additionally replays the workload
+    on the in-process engine and fails unless every payload is identical
+    (the serving layer's accelerator contract).
+    """
+    from repro.errors import ReproError
+    from repro.serve.server import EngineServer, serve_request
+    from repro.serve.workload import make_workload
+
+    run: dict = {
+        "suite": "serve",
+        "schema_version": SCHEMA_VERSION,
+        "queries": queries,
+        "seed": seed,
+        "eps": eps,
+        "scale": scale,
+        "concurrency": concurrency,
+        "worker_counts": worker_counts(workers),
+        "verified": bool(verify),
+        "environment": environment(),
+        "cities": {},
+    }
+    for name, city, engine in _build_cities(cities, scale, jobs):
+        requests = make_workload(engine, city.photos, num_queries=queries,
+                                 seed=seed, eps=eps)
+        inline = ([serve_request(engine, city.photos, request)
+                   for request in requests] if verify else None)
+        entry: dict = {"num_requests": len(requests), "records": []}
+        for count in run["worker_counts"]:
+            with EngineServer.for_engine(engine, city.photos,
+                                         workers=count) as server:
+                warm0 = time.perf_counter()
+                server.run(requests, window=concurrency)
+                warm_s = time.perf_counter() - warm0
+                t0 = time.perf_counter()
+                payloads, service = server.run_with_stats(
+                    requests, window=concurrency)
+                wall_s = time.perf_counter() - t0
+            if inline is not None and payloads != inline:
+                raise ReproError(
+                    f"{name}: worker payloads diverged from the in-process "
+                    f"engine at {count} worker(s)")
+            entry["records"].append({
+                "workers": count,
+                "wall_s": wall_s,
+                "warm_wall_s": warm_s,
+                "qps": len(requests) / wall_s if wall_s > 0 else 0.0,
+                "latency_p50_s": _percentile(service, 0.50),
+                "latency_p90_s": _percentile(service, 0.90),
+                "latency_p99_s": _percentile(service, 0.99),
+            })
+        base_qps = entry["records"][0]["qps"]
+        entry["qps_speedup_vs_1_worker"] = {
+            str(record["workers"]):
+                (record["qps"] / base_qps if base_qps > 0 else 0.0)
+            for record in entry["records"]}
+        run["cities"][name] = entry
+    return run
+
+
+def append_serve_run(run: dict, path: Path) -> dict:
+    """Append one throughput run to ``BENCH_serve.json`` and rewrite it.
+
+    The serve report is an append-only log (``{"runs": [...]}``): worker
+    scaling is hardware-dependent, so history across machines is worth
+    more than a single overwritten record.  An existing file with a
+    different ``schema_version`` is restarted rather than mixed.
+    """
+    report = {"suite": "serve", "schema_version": SCHEMA_VERSION, "runs": []}
+    if path.exists():
+        previous = json.loads(path.read_text(encoding="utf-8"))
+        if (previous.get("suite") == "serve"
+                and previous.get("schema_version") == SCHEMA_VERSION
+                and isinstance(previous.get("runs"), list)):
+            report["runs"] = previous["runs"]
+    report["runs"].append(run)
+    write_report(report, path)
+    return report
+
+
+# -- baseline comparison (--check-against) -----------------------------------
+
+def _metric_direction(path: tuple[str, ...]) -> str | None:
+    """Whether a numeric leaf is lower-better, higher-better, or ignored."""
+    key = path[-1] if path else ""
+    if key == "qps" or (len(path) >= 2
+                        and path[-2] == "qps_speedup_vs_1_worker"):
+        return "higher"
+    if key.endswith("_median_s") or key in (
+            "wall_s", "warm_wall_s", "latency_p50_s", "latency_p90_s",
+            "latency_p99_s"):
+        return "lower"
+    if len(path) >= 2 and path[-2].endswith("_points"):
+        return "lower"  # per-point median seconds, keyed by sweep value
+    return None
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = 0.2
+) -> list[dict]:
+    """Regressions of ``current`` versus a committed baseline report.
+
+    Walks both reports in parallel and compares every shared numeric
+    metric: medians/latencies regress when the current value exceeds the
+    baseline by more than ``tolerance`` (relative); QPS-style metrics
+    regress when they drop below ``baseline * (1 - tolerance)``.  Returns
+    one dict per regression (empty list = pass).  Raises ``ValueError``
+    on mismatched ``schema_version`` — cross-schema numbers are not
+    comparable.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    cur_schema = current.get("schema_version", 1)
+    base_schema = baseline.get("schema_version", 1)
+    if cur_schema != base_schema:
+        raise ValueError(
+            f"cannot compare schema_version {cur_schema} against baseline "
+            f"schema_version {base_schema}")
+    regressions: list[dict] = []
+
+    def walk(cur: object, base: object, path: tuple[str, ...]) -> None:
+        if isinstance(cur, dict) and isinstance(base, dict):
+            # JSON round-trips stringify int keys (sweep points).
+            cur_by_key = {str(key): value for key, value in cur.items()}
+            for key, base_value in base.items():
+                key = str(key)
+                if key in cur_by_key:
+                    walk(cur_by_key[key], base_value, path + (key,))
+            return
+        if isinstance(cur, list) and isinstance(base, list):
+            # The serve suite's per-worker-count records: align on the
+            # "workers" key so partial sweeps compare the right rows.
+            def row_key(item: object, index: int) -> str:
+                if isinstance(item, dict) and "workers" in item:
+                    return f"workers={item['workers']}"
+                return str(index)
+
+            cur_rows = {row_key(item, i): item for i, item in enumerate(cur)}
+            for i, base_item in enumerate(base):
+                key = row_key(base_item, i)
+                if key in cur_rows:
+                    walk(cur_rows[key], base_item, path + (key,))
+            return
+        if (isinstance(cur, (int, float)) and isinstance(base, (int, float))
+                and not isinstance(cur, bool) and not isinstance(base, bool)):
+            direction = _metric_direction(path)
+            if direction is None or base <= 0:
+                return
+            if direction == "lower":
+                regressed = cur > base * (1.0 + tolerance)
+            else:
+                regressed = cur < base * (1.0 - tolerance)
+            if regressed:
+                regressions.append({
+                    "metric": ".".join(path),
+                    "direction": direction,
+                    "baseline": float(base),
+                    "current": float(cur),
+                    "ratio": float(cur / base),
+                })
+
+    walk(current, baseline, ())
+    return regressions

@@ -6,12 +6,17 @@ city, one variant per describe method, one configuration per sweep point.
 their results **in submission order**, so downstream reports stay
 deterministic regardless of completion order.
 
-Threads (not processes) are used deliberately: the hot kernels release the
-GIL inside NumPy, the engines/caches are shared (a process pool would have
-to re-pickle them), and a failed task propagates its exception unchanged.
-Pure-Python phases still serialise on the GIL, so *timed* measurements
-should keep ``jobs=1`` — the bench harness parallelises only the untimed
-setup work by default and documents the caveat for everything else.
+The library has two parallel code paths, and this is the *thread* one:
+right for setup and I/O-bound fan-out (building per-city datasets,
+loading files, independent experiment drivers over shared engines) where
+the engines/caches are shared in-process and the hot kernels release the
+GIL inside NumPy.  Pure-Python query phases serialise on the GIL here, so
+**timed concurrent query execution** belongs to the other path: the
+process-based :class:`repro.serve.server.EngineServer` pool over
+shared-memory snapshots, which is what ``repro bench --mode throughput``
+measures.  Sequential latency timings (the ``soi``/``describe`` suites)
+still use plain loops — neither executor — so their medians measure the
+algorithm, not contention.
 """
 
 from __future__ import annotations

@@ -1,0 +1,463 @@
+"""A multiprocess query server over shared-memory index snapshots.
+
+:class:`EngineServer` owns one :class:`~repro.serve.snapshot.IndexSnapshot`
+(exported from a built :class:`~repro.core.soi.SOIEngine`) and a pool of
+``spawn``-ed worker processes.  Each worker attaches the snapshot
+read-only, rebuilds an engine view with :func:`repro.serve.views` once,
+and then serves a stream of :class:`SOIRequest` / :class:`DescribeRequest`
+tasks, reusing its per-process
+:class:`~repro.perf.session.QuerySessionPool` and describer cache across
+queries.
+
+Protocol properties:
+
+* **Determinism** — every request carries a sequence number;
+  :meth:`EngineServer.run` reorders arrivals, so the result list matches
+  the request list position-for-position regardless of which worker
+  answered first.  Workers execute the same code path as the in-process
+  engine (:func:`serve_request`), so payloads are bit-identical to a
+  direct call.
+* **Staleness** — tasks carry the snapshot ``(name, generation)``.  If the
+  source engine's ``index_generation`` has moved on
+  (:meth:`~repro.core.soi.SOIEngine.rebuild_indexes`), submission raises
+  :class:`~repro.errors.StaleSnapshotError` until :meth:`EngineServer.refresh`
+  re-exports; workers lazily re-attach when the name in a task changes.
+* **Cleanup** — the server is the only owner of the shared-memory block
+  (workers unregister their attachment from the ``resource_tracker``), and
+  :meth:`EngineServer.close` unlinks it even when workers crashed;
+  a dead worker surfaces as :class:`~repro.errors.WorkerCrashError`
+  instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro import errors
+from repro.core.describe import STRelDivDescriber, build_street_profile
+from repro.core.describe.profile import DEFAULT_RHO
+from repro.core.soi import DEFAULT_EPS, AccessStrategy, SOIEngine
+from repro.errors import (
+    QueryError,
+    ReproError,
+    SnapshotError,
+    StaleSnapshotError,
+    WorkerCrashError,
+)
+from repro.serve.snapshot import IndexSnapshot
+from repro.serve.views import attach_engine, attach_photo_set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.photo import PhotoSet
+
+_POLL_SECONDS = 0.1
+_DESCRIBER_CACHE_SIZE = 32
+
+
+@dataclass(frozen=True, slots=True)
+class SOIRequest:
+    """One k-SOI query (Problem 1) as a picklable task."""
+
+    keywords: tuple[str, ...]
+    k: int
+    eps: float = DEFAULT_EPS
+    strategy: str = AccessStrategy.ALTERNATE.value
+    weighted: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DescribeRequest:
+    """One describe query (Problem 2): summarise a street with ``k`` photos."""
+
+    street_id: int
+    k: int
+    eps: float = DEFAULT_EPS
+    lam: float = 0.5
+    w: float = 0.5
+    rho: float = DEFAULT_RHO
+
+
+Request = SOIRequest | DescribeRequest
+
+
+def serve_request(
+    engine: SOIEngine,
+    photos: "PhotoSet | None",
+    request: Request,
+    describers: "OrderedDict | None" = None,
+):
+    """Serve one request against an engine — the single serving code path.
+
+    Workers call this over their snapshot-attached views; the bit-identity
+    tests and ``repro bench --mode throughput --verify`` call it over the
+    original in-process engine.  Because both sides run this exact
+    function, agreement is structural rather than coincidental.
+
+    k-SOI requests return the engine's :class:`~repro.core.results.SOIResult`
+    list; describe requests return the selected photo ids in selection
+    order.  ``describers`` (an :class:`~collections.OrderedDict`) enables
+    LRU reuse of street profiles across describe queries.
+    """
+    if isinstance(request, SOIRequest):
+        return engine.top_k(
+            request.keywords, request.k, eps=request.eps,
+            strategy=AccessStrategy(request.strategy),
+            weighted=request.weighted)
+    if isinstance(request, DescribeRequest):
+        if photos is None:
+            raise QueryError(
+                "describe request served without a photo table "
+                "(snapshot was exported with photos=None)")
+        key = (request.street_id, request.eps, request.rho)
+        describer = describers.get(key) if describers is not None else None
+        if describer is None:
+            profile = build_street_profile(
+                engine.network, request.street_id, photos,
+                request.eps, rho=request.rho)
+            describer = STRelDivDescriber(profile)
+            if describers is not None:
+                describers[key] = describer
+                while len(describers) > _DESCRIBER_CACHE_SIZE:
+                    describers.popitem(last=False)
+        elif describers is not None:
+            describers.move_to_end(key)
+        positions = describer.select(request.k, request.lam, request.w)
+        return [describer.profile.photos[pos].id for pos in positions]
+    raise QueryError(f"unsupported request type {type(request).__name__}")
+
+
+class _WorkerView:
+    """One worker's attached snapshot plus the views rebuilt over it."""
+
+    __slots__ = ("name", "snapshot", "engine", "photos", "describers")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # Workers are spawn-children: they inherit the server's
+        # resource_tracker, so the default tracking is correct (an
+        # unregister here would strip the server's own registration).
+        self.snapshot = IndexSnapshot.attach(name)
+        self.engine = attach_engine(self.snapshot)
+        self.photos = attach_photo_set(self.snapshot)
+        self.describers: OrderedDict = OrderedDict()
+
+    def close(self) -> None:
+        self.engine = None
+        self.photos = None
+        self.describers = OrderedDict()
+        self.snapshot.close()
+
+
+def _worker_main(worker_id: int, tasks, results) -> None:
+    """Worker loop: attach on demand, serve until the ``None`` sentinel.
+
+    Must stay importable at module level — the pool uses the ``spawn``
+    start method, which re-imports this module in the child.
+    """
+    view: _WorkerView | None = None
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            seq, shm_name, generation, request = task
+            started = time.perf_counter()
+            try:
+                if view is not None and view.name != shm_name:
+                    view.close()
+                    view = None
+                if view is None:
+                    view = _WorkerView(shm_name)
+                if view.snapshot.generation != generation:
+                    raise StaleSnapshotError(
+                        f"snapshot {shm_name!r} holds generation "
+                        f"{view.snapshot.generation}, task expects "
+                        f"{generation}")
+                payload = serve_request(
+                    view.engine, view.photos, request, view.describers)
+                status, body = "ok", payload
+            except ReproError as exc:
+                status, body = "error", (type(exc).__name__, str(exc))
+            except Exception as exc:  # repro-lint: disable=REP-H302 (worker must not die; the error is reported to the parent verbatim)
+                status, body = "error", (type(exc).__name__, str(exc))
+            results.put((seq, worker_id, status, body,
+                         time.perf_counter() - started))
+    finally:
+        if view is not None:
+            view.close()
+
+
+def _rehydrate_error(type_name: str, message: str) -> ReproError:
+    """Map a worker-side exception back onto the library hierarchy."""
+    exc_type = getattr(errors, type_name, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        return exc_type(message)
+    return ReproError(f"worker raised {type_name}: {message}")
+
+
+class EngineServer:
+    """A pool of snapshot-attached worker processes serving query streams.
+
+    Usually constructed with :meth:`for_engine`, which exports the
+    snapshot and remembers the source engine for staleness checks and
+    :meth:`refresh`.  The server is a context manager; leaving the block
+    shuts the workers down and unlinks the shared-memory block.
+    """
+
+    def __init__(
+        self,
+        snapshot: IndexSnapshot,
+        workers: int = 2,
+        source: SOIEngine | None = None,
+        source_photos: "PhotoSet | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self._snapshot = snapshot
+        self._source = source
+        self._source_photos = source_photos
+        self._warm_eps = tuple(snapshot.meta.get("warm_eps", ()))
+        self._ctx = mp.get_context("spawn")
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._next_seq = 0
+        self._pending: dict[int, tuple] = {}
+        self._inflight: set[int] = set()
+        self._closed = False
+        self._stale_snapshots: list[IndexSnapshot] = []
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main, args=(wid, self._tasks, self._results),
+                name=f"repro-serve-{wid}", daemon=True)
+            for wid in range(workers)
+        ]
+        for process in self._workers:
+            process.start()
+
+    @classmethod
+    def for_engine(
+        cls,
+        engine: SOIEngine,
+        photos: "PhotoSet | None" = None,
+        workers: int = 2,
+        warm_eps: Sequence[float] = (DEFAULT_EPS,),
+    ) -> "EngineServer":
+        """Export a snapshot of ``engine`` and spin up ``workers`` processes."""
+        snapshot = IndexSnapshot.export(engine, photos, warm_eps=warm_eps)
+        return cls(snapshot, workers=workers, source=engine,
+                   source_photos=photos)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        return self._snapshot
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def inflight(self) -> int:
+        """Tasks submitted but not yet collected."""
+        return len(self._inflight)
+
+    # -- submission / collection ------------------------------------------
+
+    def submit(self, request: Request) -> int:
+        """Enqueue one request; returns its sequence number."""
+        if self._closed:
+            raise ReproError("EngineServer is closed")
+        if (self._source is not None
+                and self._source.index_generation != self._snapshot.generation):
+            raise StaleSnapshotError(
+                f"snapshot holds generation {self._snapshot.generation} but "
+                f"the source engine is at generation "
+                f"{self._source.index_generation}; call refresh()")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._tasks.put((seq, self._snapshot.name,
+                         self._snapshot.generation, request))
+        self._inflight.add(seq)
+        return seq
+
+    def next_result(self, timeout: float | None = None):
+        """``(seq, payload, service_seconds)`` of the next arrival.
+
+        Arrival order is whichever worker finishes first; callers needing
+        request order should use :meth:`run`.  Raises
+        :class:`~repro.errors.WorkerCrashError` when a worker dies with
+        tasks in flight, and re-raises worker-side exceptions.
+        """
+        if not self._inflight:
+            raise ReproError("no tasks in flight")
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            try:
+                seq, _wid, status, body, service_s = self._results.get(
+                    timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._check_workers_alive()
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"no result within {timeout} s "
+                        f"({len(self._inflight)} in flight)") from None
+                continue
+            self._inflight.discard(seq)
+            if status == "error":
+                raise _rehydrate_error(*body)
+            return seq, body, service_s
+
+    def run(
+        self,
+        requests: Iterable[Request],
+        window: int | None = None,
+        timeout: float | None = None,
+    ) -> list:
+        """Serve ``requests``, returning payloads in request order.
+
+        ``window`` bounds how many tasks are in flight at once (default:
+        four per worker), which keeps memory flat on long streams while
+        still saturating the pool.
+        """
+        payloads, _service = self.run_with_stats(
+            requests, window=window, timeout=timeout)
+        return payloads
+
+    def run_with_stats(
+        self,
+        requests: Iterable[Request],
+        window: int | None = None,
+        timeout: float | None = None,
+    ) -> tuple[list, list[float]]:
+        """Like :meth:`run`, also returning per-request service seconds.
+
+        Service time is measured inside the worker (attach-to-answer), so
+        the throughput bench can report latency percentiles that exclude
+        queueing delay.
+        """
+        request_list = list(requests)
+        if window is None:
+            window = 4 * len(self._workers)
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        collected: dict[int, tuple] = {}
+        seqs: list[int] = []
+        submitted = 0
+        while submitted < len(request_list) or self._inflight:
+            while (submitted < len(request_list)
+                   and len(self._inflight) < window):
+                seqs.append(self.submit(request_list[submitted]))
+                submitted += 1
+            if self._inflight:
+                seq, payload, service_s = self.next_result(timeout=timeout)
+                collected[seq] = (payload, service_s)
+        return ([collected[seq][0] for seq in seqs],
+                [collected[seq][1] for seq in seqs])
+
+    # -- lifecycle --------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-export the snapshot from the source engine.
+
+        Needed after :meth:`~repro.core.soi.SOIEngine.rebuild_indexes`.
+        The old block is kept until :meth:`close` — workers may still have
+        it mapped — but all new tasks carry the new name, so workers
+        re-attach on their next task.  Refusing to refresh with tasks in
+        flight keeps the old results unambiguous.
+        """
+        if self._source is None:
+            raise ReproError(
+                "this server was not constructed from a source engine; "
+                "build a new one with EngineServer.for_engine")
+        if self._inflight:
+            raise ReproError(
+                f"refresh with {len(self._inflight)} tasks in flight; "
+                "collect them first")
+        fresh = IndexSnapshot.export(
+            self._source, self._source_photos, warm_eps=self._warm_eps)
+        self._stale_snapshots.append(self._snapshot)
+        self._snapshot = fresh
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers and unlink every shared-memory block.
+
+        Safe to call repeatedly and after worker crashes: live workers
+        get a sentinel and a join; stragglers (and corpses) are
+        terminated; the ``finally`` block unlinks the snapshot(s) no
+        matter what happened before.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for process in self._workers:
+                if process.is_alive():
+                    self._tasks.put(None)
+            for process in self._workers:
+                process.join(timeout=timeout)
+            for process in self._workers:
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=1.0)
+        finally:
+            self._tasks.cancel_join_thread()
+            self._results.cancel_join_thread()
+            self._tasks.close()
+            self._results.close()
+            for snapshot in (*self._stale_snapshots, self._snapshot):
+                snapshot.close()
+                snapshot.unlink()
+            self._stale_snapshots = []
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals --------------------------------------------------------
+
+    def _check_workers_alive(self) -> None:
+        dead = [p.name for p in self._workers if not p.is_alive()]
+        if dead and self._inflight:
+            # Drain anything that raced in before declaring the loss.
+            try:
+                while True:
+                    seq, _wid, status, body, service_s = \
+                        self._results.get_nowait()
+                    self._inflight.discard(seq)
+                    self._pending[seq] = (status, body, service_s)
+            except queue_mod.Empty:
+                pass
+            if self._pending:
+                # Re-inject drained results for next_result callers.
+                for seq, (status, body, service_s) in self._pending.items():
+                    self._results.put((seq, -1, status, body, service_s))
+                    self._inflight.add(seq)
+                self._pending = {}
+                return
+            raise WorkerCrashError(
+                f"worker(s) {', '.join(dead)} died with "
+                f"{len(self._inflight)} task(s) in flight")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EngineServer(workers={len(self._workers)}, "
+                f"snapshot={self._snapshot.name!r}, "
+                f"generation={self._snapshot.generation}, "
+                f"inflight={len(self._inflight)})")
+
+
+__all__ = [
+    "DescribeRequest",
+    "EngineServer",
+    "Request",
+    "SOIRequest",
+    "serve_request",
+]

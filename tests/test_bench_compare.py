@@ -1,0 +1,98 @@
+"""The bench report schema and the --check-against comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import bench
+
+
+def serve_row(qps: float, p50: float) -> dict:
+    return {"workers": 1, "qps": qps, "latency_p50_s": p50,
+            "latency_p90_s": p50 * 2, "latency_p99_s": p50 * 3,
+            "wall_s": 1.0, "warm_wall_s": 1.0}
+
+
+def serve_run(qps: float, p50: float) -> dict:
+    return {
+        "suite": "serve",
+        "schema_version": bench.SCHEMA_VERSION,
+        "cities": {"vienna": {
+            "records": [serve_row(qps, p50)],
+            "qps_speedup_vs_1_worker": {"1": 1.0},
+        }},
+    }
+
+
+def test_reports_carry_schema_version():
+    assert bench.SCHEMA_VERSION == 2
+    run = serve_run(100.0, 0.01)
+    assert run["schema_version"] == bench.SCHEMA_VERSION
+
+
+def test_compare_passes_within_tolerance():
+    base = serve_run(100.0, 0.010)
+    current = serve_run(95.0, 0.011)  # 5% / 10% drift, tolerance 20%
+    assert bench.compare_reports(current, base, tolerance=0.2) == []
+
+
+def test_compare_flags_regressions_in_both_directions():
+    base = serve_run(100.0, 0.010)
+    current = serve_run(50.0, 0.030)
+    metrics = {r["metric"]: r["direction"]
+               for r in bench.compare_reports(current, base, tolerance=0.2)}
+    assert metrics["cities.vienna.records.workers=1.qps"] == "higher"
+    assert metrics["cities.vienna.records.workers=1.latency_p50_s"] == "lower"
+
+
+def test_compare_aligns_worker_rows_not_list_indexes():
+    base = serve_run(100.0, 0.010)
+    base["cities"]["vienna"]["records"].insert(
+        0, dict(serve_row(40.0, 0.02), workers=2))
+    current = serve_run(100.0, 0.010)  # only the workers=1 row
+    assert bench.compare_reports(current, base, tolerance=0.05) == []
+
+
+def test_compare_latency_suite_medians():
+    base = {"schema_version": 2,
+            "cities": {"vienna": {"soi_median_s": 1.0,
+                                  "k_points": {"10": 0.5}}}}
+    worse = {"schema_version": 2,
+             "cities": {"vienna": {"soi_median_s": 1.5,
+                                   "k_points": {"10": 0.9}}}}
+    regressions = bench.compare_reports(worse, base, tolerance=0.2)
+    assert [r["metric"] for r in regressions] == [
+        "cities.vienna.soi_median_s", "cities.vienna.k_points.10"]
+    assert bench.compare_reports(base, worse, tolerance=0.2) == []
+
+
+def test_compare_rejects_schema_mismatch():
+    with pytest.raises(ValueError):
+        bench.compare_reports({"schema_version": 1},
+                              {"schema_version": 2})
+    # Reports predating the field default to version 1.
+    with pytest.raises(ValueError):
+        bench.compare_reports({}, serve_run(1.0, 1.0))
+
+
+def test_compare_rejects_negative_tolerance():
+    with pytest.raises(ValueError):
+        bench.compare_reports(serve_run(1.0, 1.0), serve_run(1.0, 1.0),
+                              tolerance=-0.1)
+
+
+def test_worker_counts_are_powers_of_two_plus_max():
+    assert bench.worker_counts(1) == [1]
+    assert bench.worker_counts(4) == [1, 2, 4]
+    assert bench.worker_counts(6) == [1, 2, 4, 6]
+
+
+def test_append_serve_run_is_append_only(tmp_path):
+    path = tmp_path / "BENCH_serve.json"
+    bench.append_serve_run(serve_run(100.0, 0.01), path)
+    bench.append_serve_run(serve_run(90.0, 0.01), path)
+    import json
+    log = json.loads(path.read_text(encoding="utf-8"))
+    assert log["schema_version"] == bench.SCHEMA_VERSION
+    assert [run["cities"]["vienna"]["records"][0]["qps"]
+            for run in log["runs"]] == [100.0, 90.0]

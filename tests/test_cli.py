@@ -102,6 +102,39 @@ class TestBench:
         assert (tmp_path / "BENCH_soi.json").exists()
         assert not (tmp_path / "BENCH_describe.json").exists()
 
+    def test_throughput_mode_appends_verified_runs(self, tmp_path, capsys):
+        import json
+
+        argv = ["bench", "--mode", "throughput", "--cities", "vienna",
+                "--workers", "2", "--queries", "8", "--scale", "0.05",
+                "--verify", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_serve.json" in out and "qps" in out
+        log = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert log["suite"] == "serve"
+        run = log["runs"][-1]
+        assert run["verified"] is True
+        assert run["environment"]["cpu_count"] >= 1
+        assert [rec["workers"]
+                for rec in run["cities"]["vienna"]["records"]] == [1, 2]
+        # Append-only log plus a clean self-comparison.
+        assert main(argv[:-2] + ["--out", str(tmp_path), "--check-against",
+                                 str(tmp_path / "BENCH_serve.json"),
+                                 "--tolerance", "5.0"]) == 0
+        log = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert len(log["runs"]) == 2
+
+    def test_check_against_rejects_wrong_suite(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "BENCH_describe.json"
+        baseline.write_text(json.dumps({"suite": "describe"}))
+        assert main(["bench", "--suite", "soi", "--cities", "vienna",
+                     "--repeats", "1", "--scale", "0.05",
+                     "--out", str(tmp_path),
+                     "--check-against", str(baseline)]) == 2
+
 
 class TestParser:
     def test_missing_command_rejected(self):

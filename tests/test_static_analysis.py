@@ -316,6 +316,51 @@ def test_p402_membership_outside_loop_is_fine():
     assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
 
 
+def test_p403_flags_module_level_empty_containers():
+    src = ("from collections import OrderedDict, defaultdict\n"
+           "_SL2_CACHE = {}\n"
+           "_RESULTS: list = []\n"
+           "_SEEN = set()\n"
+           "_BY_CELL = defaultdict(list)\n"
+           "_LRU = OrderedDict()\n")
+    findings = lint_source(src, relpath="repro/serve/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P403"] * 5
+    assert "_SL2_CACHE" in findings[0].message
+
+
+def test_p403_flags_module_level_lru_cache():
+    src = ("import functools\n"
+           "from functools import cache\n"
+           "@functools.lru_cache(maxsize=64)\n"
+           "def profile(street_id):\n"
+           "    return street_id\n"
+           "@cache\n"
+           "def vocab():\n"
+           "    return ()\n")
+    findings = lint_source(src, relpath="repro/index/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P403", "REP-P403"]
+
+
+def test_p403_accepts_constants_locals_and_class_state():
+    src = ("TABLE = {'a': 1}\n"  # populated: a constant table, not a cache
+           "NAMES = ['x', 'y']\n"
+           "__all__ = []\n"  # dunder metadata, not runtime state
+           "def f():\n"
+           "    local_cache = {}\n"  # per-call: no cross-process hazard
+           "    return local_cache\n"
+           "class Engine:\n"
+           "    def __init__(self):\n"
+           "        self._cache = {}\n")  # instance state: the fix P403 asks for
+    assert lint_source(src, relpath="repro/serve/x.py", config=CONFIG) == []
+
+
+def test_p403_only_in_serve_checked_dirs():
+    src = "_ENGINES = {}\n"
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+    assert rules_of(lint_source(src, relpath="repro/perf/x.py",
+                                config=CONFIG)) == ["REP-P403"]
+
+
 # -- suppressions, parse errors, baseline -------------------------------------
 
 def test_suppression_with_reason_silences_finding():
