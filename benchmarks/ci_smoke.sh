@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI smoke gate: lint, full test suite, then a one-repeat SOI latency
+# sweep compared against the committed baseline with a loose tolerance
+# (0.35 absorbs shared-runner noise; the committed BENCH_soi.json is the
+# reference medians file at the repo root).  The bench warms the session
+# caches before timing, and the comparator's built-in 5ms noise floor
+# keeps single-sample millisecond leaves from flaking the gate.
+#
+# Run from anywhere:  sh benchmarks/ci_smoke.sh
+#
+# The bench step writes its fresh report into a throwaway directory so a
+# smoke run can never clobber the committed baselines.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT INT TERM
+
+python -m repro lint
+python -m pytest -x -q
+python -m repro bench --mode soi --repeats 1 \
+    --check-against BENCH_soi.json --tolerance 0.35 \
+    --out "$SCRATCH"
+
+echo "ci_smoke: OK"

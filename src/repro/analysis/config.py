@@ -45,6 +45,9 @@ class LintConfig:
     # silently diverging copy.
     serve_checked_dirs: tuple[str, ...] = (
         "core", "data", "geometry", "index", "network", "perf", "serve")
+    # Packages whose timing/telemetry must flow through repro.obs
+    # (REP-O501/O502); repro.obs itself is exempt by construction.
+    obs_checked_dirs: tuple[str, ...] = ("core", "serve")
     assume_positive: tuple[str, ...] = ("buffer_area", "max_d")
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})

@@ -12,7 +12,8 @@ Rule families:
 * ``REP-D1xx`` — determinism (:mod:`repro.analysis.rules.determinism`);
 * ``REP-N2xx`` — numeric safety (:mod:`repro.analysis.rules.numeric`);
 * ``REP-H3xx`` — API hygiene (:mod:`repro.analysis.rules.hygiene`);
-* ``REP-P4xx`` — performance hazards (:mod:`repro.analysis.rules.perf`).
+* ``REP-P4xx`` — performance hazards (:mod:`repro.analysis.rules.perf`);
+* ``REP-O5xx`` — observability funnels (:mod:`repro.analysis.rules.obs`).
 """
 
 from __future__ import annotations
@@ -203,6 +204,10 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         MathDomainRule,
         UnguardedDivisionRule,
     )
+    from repro.analysis.rules.obs import (
+        DirectTimerRule,
+        HandRolledCounterRule,
+    )
     from repro.analysis.rules.perf import (
         ListMembershipInLoopRule,
         ModuleLevelMutableCacheRule,
@@ -223,6 +228,8 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         SortedInLoopRule(),
         ListMembershipInLoopRule(),
         ModuleLevelMutableCacheRule(),
+        DirectTimerRule(),
+        HandRolledCounterRule(),
     )
     disabled = set(config.disabled_rules)
     return tuple(rule for rule in rules if rule.id not in disabled)

@@ -12,11 +12,17 @@ Six subcommands cover the everyday workflow without writing Python:
   ``--mode throughput``, the multiprocess serving bench
   (``BENCH_serve.json``); ``--check-against`` compares the fresh report
   to a committed baseline and fails on regressions;
-* ``repro lint``     — run the repo's custom static-analysis pass.
+* ``repro lint``     — run the repo's custom static-analysis pass;
+* ``repro metrics``  — run a small query workload and dump the unified
+  :mod:`repro.obs` metrics registry (counters, gauges, latency
+  histograms), optionally with the span self-time profile and the slow
+  query log.
 
 ``repro soi --check`` / ``repro describe --check`` additionally enable the
 runtime invariant contracts of :mod:`repro.analysis.contracts` for the
-query (the ``REPRO_CHECK=1`` environment variable does the same globally).
+query (the ``REPRO_CHECK=1`` environment variable does the same globally),
+and ``--trace`` enables :mod:`repro.obs` span tracing for the query (the
+``REPRO_TRACE=1`` environment variable does the same globally).
 
 Run as ``python -m repro <subcommand> --help``.
 """
@@ -77,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     soi.add_argument("--check", action="store_true",
                      help="enable the runtime invariant contracts "
                           "(slower; raises ContractViolation on a bug)")
+    soi.add_argument("--trace", action="store_true",
+                     help="enable span tracing and print the per-phase "
+                          "self-time profile after the query")
 
     describe = sub.add_parser("describe",
                               help="photo-summarise a street")
@@ -93,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="spatial/textual weight")
     describe.add_argument("--check", action="store_true",
                           help="enable the runtime invariant contracts")
+    describe.add_argument("--trace", action="store_true",
+                          help="enable span tracing and print the "
+                               "per-phase self-time profile")
 
     bench = sub.add_parser(
         "bench", help="run the performance suites, write BENCH_*.json",
@@ -103,14 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
                     "seeded mixed workload through the repro.serve "
                     "process pool and appends QPS/latency records to "
                     "BENCH_serve.json.")
-    bench.add_argument("--mode", choices=("latency", "throughput"),
+    bench.add_argument("--mode",
+                       choices=("latency", "throughput", "soi", "describe"),
                        default="latency",
                        help="latency: sequential Figure 4/6 suites; "
-                            "throughput: multiprocess EngineServer replay")
+                            "throughput: multiprocess EngineServer replay; "
+                            "soi / describe: shorthand for --mode latency "
+                            "--suite soi / describe")
     bench.add_argument("--suite", choices=("soi", "describe", "all"),
                        default="all",
                        help="which latency suites to run "
                             "(ignored with --mode throughput)")
+    bench.add_argument("--trace-out", type=Path, default=None,
+                       metavar="DIR",
+                       help="latency modes only: additionally run each "
+                            "sweep point once with span tracing on and "
+                            "write a Chrome trace-event file per point "
+                            "into DIR (open at chrome://tracing)")
     bench.add_argument("--cities", nargs="+", default=None,
                        metavar="PRESET",
                        help="city presets to measure (default: "
@@ -156,6 +177,35 @@ def build_parser() -> argparse.ArgumentParser:
         description="Repo-specific AST lint: determinism, numeric safety "
                     "and API hygiene (see repro.analysis).")
     add_lint_arguments(lint)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a query workload and dump the repro.obs metrics",
+        description="Answer the k-SOI query --repeat times over a saved "
+                    "city, then dump the process-local metrics registry "
+                    "(counters, gauges and log-bucket latency "
+                    "histograms).  --trace additionally prints the span "
+                    "self-time profile of the workload; --slow-threshold "
+                    "arms the slow-query log and prints what it caught.")
+    metrics.add_argument("--data", type=Path, required=True,
+                         help="directory written by 'repro generate'")
+    metrics.add_argument("--keywords", nargs="+", default=["shop"])
+    metrics.add_argument("-k", type=int, default=10)
+    metrics.add_argument("--eps", type=float, default=DEFAULT_EPS)
+    metrics.add_argument("--repeat", type=int, default=3,
+                         help="how many times to run the query "
+                              "(default 3; exercises session caching)")
+    metrics.add_argument("--json", action="store_true",
+                         help="dump the registry as JSON instead of a "
+                              "table (machine-readable)")
+    metrics.add_argument("--trace", action="store_true",
+                         help="enable span tracing and include the "
+                              "per-span-name self-time profile")
+    metrics.add_argument("--slow-threshold", type=float, default=None,
+                         metavar="SECONDS",
+                         help="arm the slow-query log at this threshold "
+                              "(0 records every query) and print what "
+                              "it captured")
     return parser
 
 
@@ -198,8 +248,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_soi(args: argparse.Namespace) -> int:
     if args.check:
         enable_contracts()
+    if args.trace:
+        from repro.obs.tracer import enable_tracing
+
+        enable_tracing()
     network, pois, _photos = _load_city(args.data)
     engine = SOIEngine(network, pois)
+    mark = _trace_mark(args)
     results = engine.top_k(args.keywords, k=args.k, eps=args.eps)
     if not results:
         print("no street matches the query keywords")
@@ -208,13 +263,20 @@ def _cmd_soi(args: argparse.Namespace) -> int:
             for rank, res in enumerate(results, start=1)]
     print(format_table(["rank", "street id", "street", "interest"], rows,
                        title=f"top-{args.k} SOIs for {args.keywords}"))
+    if args.trace:
+        _print_span_profile(mark)
     return 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
     if args.check:
         enable_contracts()
+    if args.trace:
+        from repro.obs.tracer import enable_tracing
+
+        enable_tracing()
     network, pois, photos = _load_city(args.data)
+    mark = _trace_mark(args)
     street_id = args.street
     if street_id is None:
         engine = SOIEngine(network, pois)
@@ -238,12 +300,54 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         ["photo id", "x", "y", "tags"], rows,
         title=f"{args.k}-photo summary of {profile.street_name!r} "
               f"({len(profile)} candidates)"))
+    if args.trace:
+        _print_span_profile(mark)
     return 0
+
+
+def _trace_mark(args: argparse.Namespace) -> int:
+    """Tracer high-water mark before the traced work (0 when not tracing)."""
+    if not getattr(args, "trace", False):
+        return 0
+    from repro.obs.tracer import TRACER
+
+    return TRACER.mark()
+
+
+def _print_span_profile(mark: int) -> None:
+    """Print the per-span-name self-time profile recorded since ``mark``."""
+    from repro.obs.export import self_time_by_name
+    from repro.obs.tracer import TRACER
+
+    spans = TRACER.spans_since(mark)
+    if not spans:
+        print("trace: no spans recorded")
+        return
+    profile = self_time_by_name(spans)
+    total_ns = sum(profile.values()) or 1
+    rows = [[name, count, f"{ns / 1e6:.3f}", f"{100 * ns / total_ns:.1f}%"]
+            for name, (count, ns) in _profile_rows(spans, profile)]
+    print(format_table(
+        ["span", "count", "self ms", "share"], rows,
+        title=f"span self-time profile ({len(spans)} spans)"))
+
+
+def _profile_rows(spans, profile: dict[str, int]):
+    """(name, (count, self_ns)) pairs, largest self-time first."""
+    counts: dict[str, int] = {}
+    for span in spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+    return sorted(((name, (counts[name], ns)) for name, ns in profile.items()),
+                  key=lambda item: (-item[1][1], item[0]))
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import bench
 
+    if args.mode in ("soi", "describe"):
+        # Shorthand: --mode soi == --mode latency --suite soi.
+        args.suite = args.mode
+        args.mode = "latency"
     cities = tuple(args.cities) if args.cities else bench.DEFAULT_CITIES
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
@@ -268,7 +372,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.suite in ("soi", "all"):
             report = bench.bench_soi(
                 cities, repeats=args.repeats or 5, scale=args.scale,
-                jobs=args.jobs)
+                jobs=args.jobs, trace_out=args.trace_out)
             path = args.out / bench.SOI_REPORT
             bench.write_report(report, path)
             produced["soi"] = report
@@ -276,7 +380,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.suite in ("describe", "all"):
             report = bench.bench_describe(
                 cities, repeats=args.repeats or 3, scale=args.scale,
-                jobs=args.jobs)
+                jobs=args.jobs, trace_out=args.trace_out)
             path = args.out / bench.DESCRIBE_REPORT
             bench.write_report(report, path)
             produced["describe"] = report
@@ -325,6 +429,66 @@ def _check_against_baseline(args: argparse.Namespace,
     return 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.slowlog import SLOWLOG
+    from repro.obs.tracer import TRACER, enable_tracing
+
+    if args.trace:
+        enable_tracing()
+    if args.slow_threshold is not None:
+        SLOWLOG.configure(args.slow_threshold)
+    network, pois, _photos = _load_city(args.data)
+    engine = SOIEngine(network, pois)
+    mark = TRACER.mark() if args.trace else 0
+    for _repeat in range(max(1, args.repeat)):
+        engine.top_k(args.keywords, k=args.k, eps=args.eps)
+    dump = REGISTRY.to_dict()
+    if args.json:
+        payload: dict = {"metrics": dump}
+        if args.trace:
+            from repro.obs.export import self_time_by_name
+
+            spans = TRACER.spans_since(mark)
+            payload["spans"] = {
+                "count": len(spans),
+                "self_time_ns": self_time_by_name(spans),
+            }
+        if args.slow_threshold is not None:
+            payload["slow_queries"] = SLOWLOG.records()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    counter_rows = [[name, value]
+                    for name, value in sorted(dump["counters"].items())]
+    gauge_rows = [[name, f"{value:g}"]
+                  for name, value in sorted(dump["gauges"].items())]
+    if counter_rows:
+        print(format_table(["counter", "value"], counter_rows,
+                           title="counters"))
+    if gauge_rows:
+        print(format_table(["gauge", "value"], gauge_rows, title="gauges"))
+    histogram_rows = [
+        [name, hist["count"], f"{hist['sum']:.6f}",
+         f"{hist['sum'] / hist['count']:.6f}" if hist["count"] else "-"]
+        for name, hist in sorted(dump["histograms"].items())]
+    if histogram_rows:
+        print(format_table(["histogram", "count", "sum s", "mean s"],
+                           histogram_rows, title="latency histograms"))
+    if args.trace:
+        _print_span_profile(mark)
+    if args.slow_threshold is not None:
+        records = SLOWLOG.records()
+        print(f"slow-query log (threshold {args.slow_threshold:g}s): "
+              f"{len(records)} record(s)")
+        for record in records:
+            print(f"  {record['kind']} {record['descriptor']} "
+                  f"took {record['seconds']:.6f}s "
+                  f"({len(record['spans'])} spans)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -332,6 +496,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "bench": _cmd_bench,
     "lint": run_lint,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -19,6 +19,8 @@ from repro.core.describe.measures import MMREvaluator
 from repro.core.describe.profile import StreetProfile
 from repro.core.describe.stats import DescribeStats
 from repro.errors import QueryError
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import perf_now, trace_span
 
 
 class GreedyDescriber:
@@ -44,28 +46,34 @@ class GreedyDescriber:
         """Like :meth:`select` but also returns work counters."""
         _validate(k, lam, w)
         stats = DescribeStats()
-        n = len(self.profile)
-        evaluator = MMREvaluator(self.profile, lam, w, k)
-        selected: list[int] = []
-        is_selected = bytearray(n)
-        while len(selected) < min(k, n):
-            stats.iterations += 1
-            best_pos = -1
-            best_value = -1.0
-            # Ascending position order + strict ">" keeps the smallest
-            # position on ties (same rule as Algorithm 2's refinement).
-            for pos in range(n):
-                if is_selected[pos]:
-                    continue
-                stats.photos_examined += 1
-                value = evaluator.value(pos)
-                if value > best_value:
-                    best_value = value
-                    best_pos = pos
-            selected.append(best_pos)
-            is_selected[best_pos] = 1
-            evaluator.extend_selection(best_pos)
-        stats.pair_div_evals = evaluator.pair_div_evals
+        t0 = perf_now()
+        with trace_span("describe.select", method="greedy", k=k, lam=lam, w=w):
+            n = len(self.profile)
+            evaluator = MMREvaluator(self.profile, lam, w, k)
+            selected: list[int] = []
+            is_selected = bytearray(n)
+            while len(selected) < min(k, n):
+                stats.iterations += 1
+                with trace_span("describe.round"):
+                    best_pos = -1
+                    best_value = -1.0
+                    # Ascending position order + strict ">" keeps the
+                    # smallest position on ties (same rule as Algorithm 2's
+                    # refinement).
+                    for pos in range(n):
+                        if is_selected[pos]:
+                            continue
+                        stats.photos_examined += 1
+                        value = evaluator.value(pos)
+                        if value > best_value:
+                            best_value = value
+                            best_pos = pos
+                    selected.append(best_pos)
+                    is_selected[best_pos] = 1
+                    evaluator.extend_selection(best_pos)
+            stats.pair_div_evals = evaluator.pair_div_evals
+        obs_metrics.record_describe_query(stats, perf_now() - t0,
+                                          method="greedy")
         return selected, stats
 
 

@@ -21,6 +21,7 @@ from repro.errors import QueryError
 from repro.geometry.bbox import BBox
 from repro.geometry.distance import points_segment_distance
 from repro.network.model import RoadNetwork
+from repro.obs.tracer import trace_span
 
 DEFAULT_RHO = 0.0001
 """The neighbourhood radius used in the paper's experiments (Section 5.2.2)."""
@@ -154,6 +155,7 @@ def photos_near_street(
     return [int(pos) for pos in np.flatnonzero(within)]
 
 
+@trace_span("describe.profile_build")
 def build_street_profile(
     network: RoadNetwork,
     street_id: int,
@@ -177,11 +179,12 @@ def build_street_profile(
     freq: dict[str, float] = {}
     for keywords in keyword_sets:
         for keyword in keywords:
-            freq[keyword] = freq.get(keyword, 0.0) + 1.0
+            # The Phi_s frequency vector is algorithmic state, not telemetry.
+            freq[keyword] = freq.get(keyword, 0.0) + 1.0  # repro-lint: disable=REP-O502 (Phi_s state)
     if pois is not None:
         for pos in _pois_near_street(network, street_id, pois, eps):
             for keyword in pois[pos].keywords:
-                freq[keyword] = freq.get(keyword, 0.0) + poi_keyword_weight
+                freq[keyword] = freq.get(keyword, 0.0) + poi_keyword_weight  # repro-lint: disable=REP-O502 (Phi_s state)
     extent = network.street_bbox(street_id).expanded(eps)
     return StreetProfile(
         photos=street_photos,

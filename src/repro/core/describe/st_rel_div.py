@@ -31,6 +31,10 @@ import math
 import numpy as np
 
 from repro.analysis import contracts
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
+from repro.obs.slowlog import SLOWLOG
+from repro.obs.tracer import perf_now, trace_span
 from repro.core.describe.bounds import CellBoundsContext
 from repro.core.describe.greedy import _validate
 from repro.core.describe.measures import MMREvaluator
@@ -66,6 +70,7 @@ class STRelDivDescriber:
         self._fold_cache: dict[
             int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
 
+    @trace_span("describe.cell_bounds")
     def _build_cell_arrays(self) -> None:
         """Flat per-cell data reused by every :meth:`select` call."""
         cells = self._cells
@@ -107,40 +112,58 @@ class STRelDivDescriber:
         """Like :meth:`select` but also returns work counters."""
         _validate(k, lam, w)
         stats = DescribeStats()
-        n = len(self.profile)
-        evaluator = MMREvaluator(self.profile, lam, w, k)
-        selected: list[int] = []
-        selected_set: set[int] = set()
-        selected_per_cell = [0] * len(self._cells)
-        alive = np.ones(len(self._cells), dtype=bool)
-        self._div_lo = np.zeros(len(self._cells))
-        self._div_hi = np.zeros(len(self._cells))
-        # The relevance part of every cell's mmr bound is
-        # selection-independent; weight it once per query.
-        rel_lo = (1.0 - lam) * (w * self._rel_spatial_lo
-                                + (1.0 - w) * self._rel_textual_lo)
-        rel_hi = (1.0 - lam) * (w * self._rel_spatial_hi
-                                + (1.0 - w) * self._rel_textual_hi)
-        while len(selected) < min(k, n):
-            stats.iterations += 1
-            best_pos = self._next_candidate(
-                evaluator, rel_lo, rel_hi, alive, selected, selected_set,
-                lam, w, k, stats)
-            if contracts.ENABLED:
-                contracts.check_describe_selection(best_pos, stats.iterations)
-            selected.append(best_pos)
-            selected_set.add(best_pos)
-            evaluator.extend_selection(best_pos)
-            coord = self.index.grid.cell_of(
-                float(self.profile.photos.xs[best_pos]),
-                float(self.profile.photos.ys[best_pos]))
-            slot = self._cell_slot[coord]
-            selected_per_cell[slot] += 1
-            if selected_per_cell[slot] >= self._cell_sizes[slot]:
-                alive[slot] = False  # no unselected photos left in the cell
-            if lam > 0 and k > 1:
-                self._accumulate_div_bounds(best_pos, w)
-        stats.pair_div_evals = evaluator.pair_div_evals
+        mark = obs_tracer.TRACER.mark() if obs_tracer.ENABLED else 0
+        t0 = perf_now()
+        with trace_span("describe.select", method="st_rel_div",
+                        k=k, lam=lam, w=w):
+            n = len(self.profile)
+            evaluator = MMREvaluator(self.profile, lam, w, k)
+            selected: list[int] = []
+            selected_set: set[int] = set()
+            selected_per_cell = [0] * len(self._cells)
+            alive = np.ones(len(self._cells), dtype=bool)
+            self._div_lo = np.zeros(len(self._cells))
+            self._div_hi = np.zeros(len(self._cells))
+            # The relevance part of every cell's mmr bound is
+            # selection-independent; weight it once per query.
+            rel_lo = (1.0 - lam) * (w * self._rel_spatial_lo
+                                    + (1.0 - w) * self._rel_textual_lo)
+            rel_hi = (1.0 - lam) * (w * self._rel_spatial_hi
+                                    + (1.0 - w) * self._rel_textual_hi)
+            while len(selected) < min(k, n):
+                stats.iterations += 1
+                with trace_span("describe.round"):
+                    best_pos = self._next_candidate(
+                        evaluator, rel_lo, rel_hi, alive, selected,
+                        selected_set, lam, w, k, stats)
+                    if contracts.ENABLED:
+                        contracts.check_describe_selection(
+                            best_pos, stats.iterations)
+                    selected.append(best_pos)
+                    selected_set.add(best_pos)
+                    evaluator.extend_selection(best_pos)
+                    coord = self.index.grid.cell_of(
+                        float(self.profile.photos.xs[best_pos]),
+                        float(self.profile.photos.ys[best_pos]))
+                    slot = self._cell_slot[coord]
+                    # Aliveness bookkeeping of the greedy loop, not telemetry.
+                    selected_per_cell[slot] += 1  # repro-lint: disable=REP-O502 (algorithmic state)
+                    if selected_per_cell[slot] >= self._cell_sizes[slot]:
+                        # No unselected photos left in the cell.
+                        alive[slot] = False
+                    if lam > 0 and k > 1:
+                        self._accumulate_div_bounds(best_pos, w)
+            stats.pair_div_evals = evaluator.pair_div_evals
+        seconds = perf_now() - t0
+        obs_metrics.record_describe_query(stats, seconds, method="st_rel_div")
+        if SLOWLOG.enabled:
+            SLOWLOG.maybe_record(
+                "describe",
+                {"method": "st_rel_div", "k": k, "lam": lam, "w": w,
+                 "photos": len(self.profile)},
+                seconds, stats.counters(),
+                obs_tracer.TRACER.spans_since(mark)
+                if obs_tracer.ENABLED else ())
         return selected, stats
 
     def _accumulate_div_bounds(self, pos: int, w: float) -> None:
@@ -156,7 +179,8 @@ class STRelDivDescriber:
         """
         cached = self._fold_cache.get(pos)
         if cached is None:
-            cached = self._fold_vectors(pos)
+            with trace_span("describe.fold_bounds"):
+                cached = self._fold_vectors(pos)
             self._fold_cache[pos] = cached
         s_lo, s_hi, t_lo, t_hi = cached
         self._div_lo += w * s_lo + (1.0 - w) * t_lo
@@ -221,41 +245,43 @@ class STRelDivDescriber:
         # Filtering phase: bound every cell that still holds candidates.
         # Relevance bounds are precomputed per cell; diversity-sum bounds
         # are maintained incrementally in _div_lo / _div_hi.
-        div_scale = lam / (k - 1) if (selected and k > 1) else 0.0
-        if div_scale:
-            lo = rel_lo + div_scale * self._div_lo
-            hi = rel_hi + div_scale * self._div_hi
-        else:
-            lo = rel_lo
-            hi = rel_hi
-        alive_slots = np.flatnonzero(alive).tolist()
-        stats.cells_considered += len(alive_slots)
-        mmr_min = lo[alive].max()
-        hi_alive = hi[alive].tolist()
-        candidates = [(cell_hi, self._cells[slot])
-                      for cell_hi, slot in zip(hi_alive, alive_slots)
-                      if cell_hi >= mmr_min]
-        stats.cells_pruned_filter += len(alive_slots) - len(candidates)
+        with trace_span("describe.filter"):
+            div_scale = lam / (k - 1) if (selected and k > 1) else 0.0
+            if div_scale:
+                lo = rel_lo + div_scale * self._div_lo
+                hi = rel_hi + div_scale * self._div_hi
+            else:
+                lo = rel_lo
+                hi = rel_hi
+            alive_slots = np.flatnonzero(alive).tolist()
+            stats.cells_considered += len(alive_slots)
+            mmr_min = lo[alive].max()
+            hi_alive = hi[alive].tolist()
+            candidates = [(cell_hi, self._cells[slot])
+                          for cell_hi, slot in zip(hi_alive, alive_slots)
+                          if cell_hi >= mmr_min]
+            stats.cells_pruned_filter += len(alive_slots) - len(candidates)
 
         # Refinement phase: visit candidate cells by decreasing upper bound.
-        candidates.sort(key=lambda item: (-item[0], item[1].coord))
-        best_value = float("-inf")
-        best_pos = -1
-        for cell_hi, cell in candidates:
-            if cell_hi < best_value:
-                stats.cells_pruned_refine += 1
-                continue
-            for pos in cell.positions:
-                if pos in selected_set:
+        with trace_span("describe.refine"):
+            candidates.sort(key=lambda item: (-item[0], item[1].coord))
+            best_value = float("-inf")
+            best_pos = -1
+            for cell_hi, cell in candidates:
+                if cell_hi < best_value:
+                    stats.cells_pruned_refine += 1
                     continue
-                stats.photos_examined += 1
-                value = evaluator.value(pos)
-                if contracts.ENABLED:
-                    contracts.check_describe_candidate(
-                        self.profile, self._bounds, cell, pos, selected,
-                        lam, w, k, value)
-                if value > best_value or (value == best_value
-                                          and pos < best_pos):
-                    best_value = value
-                    best_pos = pos
+                for pos in cell.positions:
+                    if pos in selected_set:
+                        continue
+                    stats.photos_examined += 1
+                    value = evaluator.value(pos)
+                    if contracts.ENABLED:
+                        contracts.check_describe_candidate(
+                            self.profile, self._bounds, cell, pos, selected,
+                            lam, w, k, value)
+                    if value > best_value or (value == best_value
+                                              and pos < best_pos):
+                        best_value = value
+                        best_pos = pos
         return best_pos

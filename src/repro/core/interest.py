@@ -23,6 +23,8 @@ from typing import Iterable
 import numpy as np
 
 from repro.analysis import contracts
+from repro.obs import tracer as obs_tracer
+from repro.obs.tracer import trace_span
 from repro.data.poi import POISet
 from repro.errors import QueryError
 from repro.geometry.distance import (
@@ -89,22 +91,29 @@ class RelevantCellCache:
         entry = self._cache.get(cell)
         if entry is None:
             self.misses += 1
-            inverted = self._poi_index.cell_inverted(cell)
-            if inverted is None or not any(
-                    inverted.count(k) for k in self._keywords):
-                # Fast path: cells with no relevant POIs dominate visits.
-                entry = self._EMPTY
+            if obs_tracer.ENABLED:
+                with trace_span("soi.cell_gather"):
+                    entry = self._materialise(cell)
             else:
-                positions = np.fromiter(
-                    inverted.matching_positions(self._keywords),
-                    dtype=np.intp)
-                pois = self._poi_index.pois
-                entry = (positions, pois.xs[positions], pois.ys[positions],
-                         pois.weights[positions])
+                entry = self._materialise(cell)
             self._cache[cell] = entry
         else:
             self.hits += 1
         return entry
+
+    def _materialise(self, cell: tuple[int, int]):
+        """First-visit gather of a cell's relevant POI arrays."""
+        inverted = self._poi_index.cell_inverted(cell)
+        if inverted is None or not any(
+                inverted.count(k) for k in self._keywords):
+            # Fast path: cells with no relevant POIs dominate visits.
+            return self._EMPTY
+        positions = np.fromiter(
+            inverted.matching_positions(self._keywords),
+            dtype=np.intp)
+        pois = self._poi_index.pois
+        return (positions, pois.xs[positions], pois.ys[positions],
+                pois.weights[positions])
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -215,6 +224,23 @@ def segment_mass_batched(
     fast path, larger cells see exactly the same element-wise arithmetic
     whether their arrays are evaluated alone or inside a batch.
     """
+    if obs_tracer.ENABLED:
+        with trace_span("soi.mass_kernel"):
+            return _segment_mass_batched_impl(
+                segment, cells, cache, eps, weighted, stats, mass_cache)
+    return _segment_mass_batched_impl(
+        segment, cells, cache, eps, weighted, stats, mass_cache)
+
+
+def _segment_mass_batched_impl(
+    segment: Segment,
+    cells: Iterable[tuple[int, int]],
+    cache: RelevantCellCache,
+    eps: float,
+    weighted: bool,
+    stats=None,
+    mass_cache: dict | None = None,
+) -> float:
     contributions: list[float] = []
     # (contribution slot, cell, batch start, batch stop) per batched cell.
     pending: list[tuple[int, tuple[int, int], int, int]] = []

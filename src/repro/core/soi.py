@@ -23,12 +23,15 @@ Correctness notes (also summarised in DESIGN.md):
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
 from repro.analysis import contracts
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
+from repro.obs.slowlog import SLOWLOG
+from repro.obs.tracer import perf_now, trace_span
 from repro.core.interest import (
     RelevantCellCache,
     buffer_area,
@@ -170,6 +173,7 @@ class SOIEngine:
                      else session_pool_size))
         return engine
 
+    @trace_span("index.build")
     def _build_indexes(self) -> None:
         cell_size = self._cell_size
         extent_margin = self._extent_margin
@@ -184,14 +188,17 @@ class SOIEngine:
                 BBox(float(pois.xs.min()), float(pois.ys.min()),
                      float(pois.xs.max()), float(pois.ys.max())))
         self.extent = extent.expanded(extent_margin)
-        self.poi_index = POIGridIndex(pois, self.extent, cell_size)
-        self.cell_maps = SegmentCellMaps(network, self.poi_index.grid)
+        with trace_span("index.poi_grid"):
+            self.poi_index = POIGridIndex(pois, self.extent, cell_size)
+        with trace_span("index.cell_maps"):
+            self.cell_maps = SegmentCellMaps(network, self.poi_index.grid)
         self._max_weight = float(pois.weights.max()) if len(pois) else 0.0
         # SL3 order (length ascending) is query-independent; SL2 order
         # depends only on eps, so it is cached per eps value.
-        self._sl3_entries: tuple[tuple[int, float], ...] = tuple(sorted(
-            ((seg.id, seg.length) for seg in network.iter_segments()),
-            key=lambda e: (e[1], e[0])))
+        with trace_span("index.source_list_orders"):
+            self._sl3_entries: tuple[tuple[int, float], ...] = tuple(sorted(
+                ((seg.id, seg.length) for seg in network.iter_segments()),
+                key=lambda e: (e[1], e[0])))
         self._sl2_cache: dict[float, tuple[tuple[tuple[int, float], ...],
                                            float]] = {}
 
@@ -360,21 +367,37 @@ class _SOIRun:
     # -- driver -----------------------------------------------------------
 
     def execute(self) -> tuple[list[SOIResult], SOIStats]:
-        hits0, misses0 = self.cache.hits, self.cache.misses
-        t0 = time.perf_counter()
-        self._build_source_lists()
-        t1 = time.perf_counter()
-        self._filter()
-        t2 = time.perf_counter()
-        kernels_before_refine = self.stats.kernel_calls
-        results = self._refine()
-        t3 = time.perf_counter()
+        mark = obs_tracer.TRACER.mark() if obs_tracer.ENABLED else 0
+        with trace_span("soi.query", k=self.k, eps=self.eps,
+                        strategy=self.strategy.value, weighted=self.weighted,
+                        keywords=",".join(sorted(self.query))):
+            hits0, misses0 = self.cache.hits, self.cache.misses
+            t0 = perf_now()
+            with trace_span("soi.build_source_lists"):
+                self._build_source_lists()
+            t1 = perf_now()
+            with trace_span("soi.filter"):
+                self._filter()
+            t2 = perf_now()
+            kernels_before_refine = self.stats.kernel_calls
+            with trace_span("soi.refine"):
+                results = self._refine()
+            t3 = perf_now()
         self.stats.refine_kernel_calls = (
             self.stats.kernel_calls - kernels_before_refine)
         self.stats.relevant_cache_hits = self.cache.hits - hits0
         self.stats.relevant_cache_misses = self.cache.misses - misses0
         self.stats.phase_seconds = {
             "build": t1 - t0, "filter": t2 - t1, "refine": t3 - t2}
+        obs_metrics.record_soi_query(self.stats)
+        if SLOWLOG.enabled:
+            SLOWLOG.maybe_record(
+                "soi",
+                {"keywords": sorted(self.query), "k": self.k, "eps": self.eps,
+                 "strategy": self.strategy.value, "weighted": self.weighted},
+                t3 - t0, self.stats.counters(),
+                obs_tracer.TRACER.spans_since(mark)
+                if obs_tracer.ENABLED else ())
         if self._monitor is not None:
             self._monitor.check_results(self.engine, self.query, self.eps,
                                         self.weighted, self.k, results)
@@ -437,20 +460,28 @@ class _SOIRun:
         ncycle = len(cycle)
         position = 0
         stats = self.stats
-        access = self._access
         monitor = self._monitor
         check_every = self._CHECK_EVERY
         # Hot loop: the attribute chains below are loop-invariant, so they
         # are hoisted into locals (the warm-session profile is dominated by
         # this loop's per-access bookkeeping, not by mass kernels).
+        # Tracing likewise binds once: the untraced access method when off,
+        # so the disabled path pays nothing per access.
+        tracing = obs_tracer.ENABLED
+        access = self._access_traced if tracing else self._access
         alternate = (self.strategy is AccessStrategy.ALTERNATE
                      and self._sl2_threshold > 0)
         sl2_top = self.sl2.top
         sl2_threshold = self._sl2_threshold
         while True:
             if stats.iterations % check_every == 0:
-                lbk = self._compute_lbk()
-                ub = self._compute_ub()
+                if tracing:
+                    with trace_span("soi.termination_check"):
+                        lbk = self._compute_lbk()
+                        ub = self._compute_ub()
+                else:
+                    lbk = self._compute_lbk()
+                    ub = self._compute_ub()
                 if monitor is not None:
                     monitor.observe_threshold(lbk, ub)
                 if lbk >= ub:
@@ -476,6 +507,12 @@ class _SOIRun:
             if not accessed:
                 break
             stats.iterations += 1
+
+    def _access_traced(self, name: str) -> bool:
+        """Traced variant of :meth:`_access` (bound by ``_filter`` when
+        tracing is on, so the hot path has no per-access switch check)."""
+        with trace_span("soi.pull", source=name):
+            return self._access(name)
 
     def _access(self, name: str) -> bool:
         """Perform one access on the named list; False when exhausted."""

@@ -22,6 +22,8 @@ from repro.core.interest import (
 )
 from repro.core.results import SOIResult
 from repro.core.soi import DEFAULT_EPS, SOIEngine
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import trace_span
 
 
 class BaselineSOI:
@@ -111,21 +113,26 @@ class BaselineSOI:
         collects kernel/cache counters.
         """
         query = validate_query(keywords, k, eps)
-        session = (self.engine.sessions.get(query) if use_session else None)
-        if session is not None:
-            cache = session.cache
-            mass_cache = session.mass_cache(eps, weighted)
-            if stats is not None:
-                stats.session_reused = session.queries_served > 0
-            session.queries_served += 1
-        else:
-            cache = RelevantCellCache(self.engine.poi_index, query)
-            mass_cache = None
-        cell_maps = self.engine.cell_maps
-        out: dict[int, float] = {}
-        for segment in self.engine.network.iter_segments():
-            mass = segment_mass_batched(
-                segment, cell_maps.cells_of_segment(segment.id, eps),
-                cache, eps, weighted, stats=stats, mass_cache=mass_cache)
-            out[segment.id] = segment_interest(mass, segment.length, eps)
+        with trace_span("soi.baseline_query", eps=eps, weighted=weighted,
+                        keywords=",".join(sorted(query))):
+            session = (self.engine.sessions.get(query) if use_session
+                       else None)
+            if session is not None:
+                cache = session.cache
+                mass_cache = session.mass_cache(eps, weighted)
+                if stats is not None:
+                    stats.session_reused = session.queries_served > 0
+                session.queries_served += 1
+            else:
+                cache = RelevantCellCache(self.engine.poi_index, query)
+                mass_cache = None
+            cell_maps = self.engine.cell_maps
+            out: dict[int, float] = {}
+            for segment in self.engine.network.iter_segments():
+                mass = segment_mass_batched(
+                    segment, cell_maps.cells_of_segment(segment.id, eps),
+                    cache, eps, weighted, stats=stats, mass_cache=mass_cache)
+                out[segment.id] = segment_interest(mass, segment.length, eps)
+        obs_metrics.REGISTRY.inc("soi.baseline_queries")
+        obs_metrics.REGISTRY.inc("soi.baseline_segments_scanned", len(out))
         return out

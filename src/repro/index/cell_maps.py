@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 from repro.geometry.distance import segment_bbox_mindist
 from repro.index.grid import CellCoord, UniformGrid
 from repro.network.model import RoadNetwork
+from repro.obs.tracer import trace_span
 
 
 class SegmentCellMaps:
@@ -79,6 +80,12 @@ class SegmentCellMaps:
         cached = self._augmented.get(eps)
         if cached is not None:
             return cached
+        with trace_span("index.augment_eps", eps=eps):
+            result = self._compute_augmented_maps(eps)
+        self._augmented[eps] = result
+        return result
+
+    def _compute_augmented_maps(self, eps: float):
         seg_to_cells: dict[int, tuple[CellCoord, ...]] = {}
         cell_to_segs: dict[CellCoord, list[int]] = defaultdict(list)
         for seg in self.network.iter_segments():
@@ -86,10 +93,8 @@ class SegmentCellMaps:
             seg_to_cells[seg.id] = cells
             for cell in cells:
                 cell_to_segs[cell].append(seg.id)
-        result = (seg_to_cells,
-                  {cell: tuple(sids) for cell, sids in cell_to_segs.items()})
-        self._augmented[eps] = result
-        return result
+        return (seg_to_cells,
+                {cell: tuple(sids) for cell, sids in cell_to_segs.items()})
 
     def _cells_within(
         self, ax: float, ay: float, bx: float, by: float, eps: float

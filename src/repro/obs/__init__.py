@@ -1,0 +1,80 @@
+"""repro.obs — span tracing, metrics registry, exporters, slow-query log.
+
+The observability layer for the SOI/describe/serve stack.  Everything in
+here is stdlib-only and imports nothing from the rest of ``repro``, so
+any module (including ``core``) can depend on it without cycles.
+
+* :mod:`repro.obs.tracer` — ``trace_span`` + the global ring-buffer
+  :data:`~repro.obs.tracer.TRACER`; off unless ``REPRO_TRACE=1``.
+* :mod:`repro.obs.metrics` — the always-on process-local
+  :data:`~repro.obs.metrics.REGISTRY` of counters/gauges/histograms.
+* :mod:`repro.obs.export` — span-tree assembly, JSON-lines and Chrome
+  ``chrome://tracing`` exporters.
+* :mod:`repro.obs.slowlog` — the global :data:`~repro.obs.slowlog.SLOWLOG`
+  capturing span trees of queries over ``REPRO_SLOWLOG`` seconds.
+"""
+
+from repro.obs.export import (
+    build_tree,
+    roots,
+    self_time_by_name,
+    self_times_ns,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    bucket_bounds,
+    bucket_exponent,
+    describe_counters,
+    record_describe_query,
+    record_soi_query,
+    soi_counters,
+)
+from repro.obs.slowlog import SLOWLOG, SlowQueryLog
+from repro.obs.tracer import (
+    SpanRecord,
+    TRACER,
+    Tracer,
+    enable_tracing,
+    monotonic_now,
+    perf_now,
+    trace_span,
+    tracing_enabled,
+    tracing_scope,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SLOWLOG",
+    "SlowQueryLog",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "bucket_bounds",
+    "bucket_exponent",
+    "build_tree",
+    "describe_counters",
+    "enable_tracing",
+    "monotonic_now",
+    "perf_now",
+    "record_describe_query",
+    "record_soi_query",
+    "roots",
+    "self_time_by_name",
+    "self_times_ns",
+    "soi_counters",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "trace_span",
+    "tracing_enabled",
+    "tracing_scope",
+    "write_chrome_trace",
+    "write_jsonl",
+]

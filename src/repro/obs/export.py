@@ -1,0 +1,120 @@
+"""Span exporters: tree assembly, JSON-lines and Chrome trace-event files.
+
+The tracer's ring buffer holds finished spans ordered by *end* time, so a
+child always precedes its parent.  :func:`build_tree` reconstructs the
+forest from ``parent_id`` links; :func:`self_times_ns` computes per-span
+self time (duration minus direct children) — the quantity the acceptance
+criterion sums against traced wall time.
+
+Chrome format: one complete-event (``"ph": "X"``) per span, timestamps
+and durations in microseconds relative to the earliest span start, thread
+ids mapped to small integers.  Load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import SpanRecord
+
+
+def build_tree(spans: Sequence[SpanRecord]) -> dict[int, list[SpanRecord]]:
+    """Children grouped by parent span id (roots under key ``-1``).
+
+    Children keep buffer order; a span whose parent is not in ``spans``
+    (evicted from the ring, or outside a ``spans_since`` window) is
+    treated as a root.
+    """
+    present = {span.span_id for span in spans}
+    children: dict[int, list[SpanRecord]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in present else -1
+        children.setdefault(parent, []).append(span)
+    return children
+
+
+def roots(spans: Sequence[SpanRecord]) -> list[SpanRecord]:
+    """Top-level spans of the forest (see :func:`build_tree`)."""
+    return build_tree(spans).get(-1, [])
+
+
+def self_times_ns(spans: Sequence[SpanRecord]) -> dict[int, int]:
+    """Per-span self time: duration minus the sum of direct children."""
+    children = build_tree(spans)
+    out: dict[int, int] = {}
+    for span in spans:
+        child_ns = sum(c.duration_ns for c in children.get(span.span_id, ()))
+        out[span.span_id] = span.duration_ns - child_ns
+    return out
+
+
+def self_time_by_name(spans: Sequence[SpanRecord]) -> dict[str, int]:
+    """Self time in nanoseconds aggregated over span names."""
+    selfs = self_times_ns(spans)
+    out: dict[str, int] = {}
+    for span in spans:
+        out[span.name] = out.get(span.name, 0) + selfs[span.span_id]
+    return out
+
+
+# -- JSON-lines ------------------------------------------------------------
+
+def spans_to_jsonl(spans: Iterable[SpanRecord]) -> str:
+    """One compact JSON object per line, in buffer order."""
+    return "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                   for span in spans)
+
+
+def write_jsonl(path: str | Path, spans: Iterable[SpanRecord]) -> Path:
+    path = Path(path)
+    path.write_text(spans_to_jsonl(spans), encoding="utf-8")
+    return path
+
+
+# -- Chrome trace-event format ---------------------------------------------
+
+def spans_to_chrome(spans: Sequence[SpanRecord]) -> dict:
+    """Chrome ``chrome://tracing`` trace-event JSON object."""
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin_ns = min(span.start_ns for span in spans)
+    tids: dict[int, int] = {}
+    pid = os.getpid()
+    events = []
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
+        tid = tids.setdefault(span.thread_id, len(tids))
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        if span.attrs:
+            args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": (span.start_ns - origin_ns) / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, spans: Sequence[SpanRecord]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(spans_to_chrome(spans)), encoding="utf-8")
+    return path
+
+
+__all__ = [
+    "build_tree",
+    "roots",
+    "self_time_by_name",
+    "self_times_ns",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,256 @@
+"""Process-local metrics registry: counters, gauges, log-scale histograms.
+
+One :class:`MetricsRegistry` per process (the module-global
+:data:`REGISTRY`).  Unlike the tracer it is **always on** — recording a
+counter is a dict update under a lock, cheap enough to absorb the
+per-query `SOIStats`/`DescribeStats` counter dumps without a switch.
+
+Histograms use fixed logarithmic buckets: bucket ``e`` counts
+observations ``v`` with ``2**(e-1) < v <= 2**e`` (exact powers of two land
+in their own bucket's upper edge), computed exactly with
+:func:`math.frexp` — no float-log rounding at the boundaries.  Bucket
+exponents are clamped to ``[MIN_EXP, MAX_EXP]`` so the sparse dict stays
+bounded; for second-valued latencies that spans ~1 ns to ~2.2e12 s.
+
+Registries merge **commutatively** (counters add, gauges take the max,
+histogram buckets add), so aggregating `EngineServer` worker dumps in the
+parent is deterministic regardless of response arrival order.
+
+The registry also *supersedes* the scattered per-query stats objects as
+the cross-stack aggregation point: :func:`record_soi_query` /
+:func:`record_describe_query` fold a stats object's ``counters()`` view
+into namespaced registry counters (``soi.*`` / ``describe.*``) and phase
+histograms, while the stats dataclasses remain the per-query return
+value.  :func:`soi_counters` / :func:`describe_counters` give back the
+un-namespaced compatible view.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+MIN_EXP = -40
+MAX_EXP = 41
+
+
+def bucket_exponent(value: float) -> int:
+    """Histogram bucket for ``value``: the smallest ``e`` with ``value <= 2**e``.
+
+    Non-positive values collapse into the bottom bucket.  Exact: uses
+    ``math.frexp`` (``value = m * 2**e`` with ``0.5 <= m < 1``), so
+    ``2**e`` itself goes to bucket ``e``, ``2**e + ulp`` to ``e + 1``.
+    """
+    if value <= 0.0:
+        return MIN_EXP
+    mantissa, exponent = math.frexp(value)
+    if mantissa == 0.5:  # repro-lint: disable=REP-N201 (frexp returns exactly 0.5 iff value is a power of two)
+        exponent -= 1
+    if exponent < MIN_EXP:
+        return MIN_EXP
+    if exponent > MAX_EXP:
+        return MAX_EXP
+    return exponent
+
+
+def bucket_bounds(exponent: int) -> tuple[float, float]:
+    """The ``(lower, upper]`` value range of a bucket exponent."""
+    return (math.ldexp(1.0, exponent - 1), math.ldexp(1.0, exponent))
+
+
+class Histogram:
+    """Log2-bucketed histogram with exact count and sum."""
+
+    __slots__ = ("count", "sum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        exp = bucket_exponent(value)
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {str(exp): n for exp, n in sorted(self.buckets.items())},
+        }
+
+    def merge_dict(self, dump: dict) -> None:
+        self.count += int(dump.get("count", 0))
+        self.sum += float(dump.get("sum", 0.0))
+        for exp, n in dump.get("buckets", {}).items():
+            exp = int(exp)
+            self.buckets[exp] = self.buckets.get(exp, 0) + int(n)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one lock.
+
+    ``to_dict()`` produces a plain-JSON dump (this is what travels over
+    the `EngineServer` result queue); ``merge()`` folds such a dump back
+    in with commutative semantics: counters and histogram buckets add,
+    gauges keep the maximum.  Merging the same dumps in any order yields
+    an identical registry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def inc_many(self, items: dict[str, int], prefix: str = "") -> None:
+        """Fold a counters dict in under one lock acquisition."""
+        with self._lock:
+            counters = self._counters
+            for key, value in items.items():
+                name = prefix + key
+                counters[name] = counters.get(name, 0) + int(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Counters under ``prefix``, keys returned without it."""
+        start = len(prefix)
+        with self._lock:
+            return {name[start:]: value
+                    for name, value in self._counters.items()
+                    if name.startswith(prefix)}
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (sorted keys for stable output)."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {name: hist.to_dict()
+                               for name, hist in sorted(self._histograms.items())},
+            }
+
+    # -- merging / lifecycle -------------------------------------------------
+
+    def merge(self, dump: dict) -> None:
+        """Fold a ``to_dict()`` dump in (commutative, see class docstring)."""
+        if not dump:
+            return
+        with self._lock:
+            for name, value in dump.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in dump.get("gauges", {}).items():
+                value = float(value)
+                prev = self._gauges.get(name)
+                if prev is None or value > prev:
+                    self._gauges[name] = value
+            for name, hdump in dump.get("histograms", {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram()
+                hist.merge_dict(hdump)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+REGISTRY = MetricsRegistry()
+"""The process-global registry.  `EngineServer` workers each have their
+own (being separate processes) and ship ``to_dict()`` dumps back with
+every response; the parent merges them via :meth:`MetricsRegistry.merge`."""
+
+
+# -- stats absorption ------------------------------------------------------
+#
+# SOIStats / DescribeStats stay the per-query return value; these helpers
+# are the single funnel that folds each finished query into the registry.
+# They take duck-typed stats objects (anything with ``counters()``) so the
+# obs package keeps zero imports from repro.core.
+
+def record_soi_query(stats, registry: MetricsRegistry | None = None) -> None:
+    """Absorb one finished SOI query's stats into ``soi.*`` metrics."""
+    reg = REGISTRY if registry is None else registry
+    reg.inc_many(stats.counters(), prefix="soi.")
+    reg.inc("soi.queries")
+    phases = getattr(stats, "phase_seconds", None) or {}
+    total = 0.0
+    for phase, seconds in phases.items():
+        reg.observe(f"soi.phase.{phase}_s", seconds)
+        total += seconds
+    if phases:
+        reg.observe("soi.query_s", total)
+
+
+def record_describe_query(stats, seconds: float, method: str = "st_rel_div",
+                          registry: MetricsRegistry | None = None) -> None:
+    """Absorb one finished describe selection into ``describe.*`` metrics."""
+    reg = REGISTRY if registry is None else registry
+    reg.inc_many(stats.counters(), prefix="describe.")
+    reg.inc("describe.queries")
+    reg.observe(f"describe.{method}_select_s", seconds)
+
+
+def soi_counters(registry: MetricsRegistry | None = None) -> dict[str, int]:
+    """Aggregated SOI counters, keyed like ``SOIStats.counters()``."""
+    reg = REGISTRY if registry is None else registry
+    return reg.counters_with_prefix("soi.")
+
+
+def describe_counters(registry: MetricsRegistry | None = None) -> dict[str, int]:
+    """Aggregated describe counters, keyed like ``DescribeStats.counters()``."""
+    reg = REGISTRY if registry is None else registry
+    return reg.counters_with_prefix("describe.")
+
+
+__all__ = [
+    "Histogram",
+    "MAX_EXP",
+    "MIN_EXP",
+    "MetricsRegistry",
+    "REGISTRY",
+    "bucket_bounds",
+    "bucket_exponent",
+    "describe_counters",
+    "record_describe_query",
+    "record_soi_query",
+    "soi_counters",
+]

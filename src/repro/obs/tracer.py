@@ -1,0 +1,302 @@
+"""A near-zero-overhead span tracer for the SOI/describe/serve hot paths.
+
+Tracing is **off by default**: every instrumentation site reduces to one
+module-attribute read (``tracer.ENABLED``) — the same switch discipline as
+:mod:`repro.analysis.contracts` — plus, for phase-level sites, one no-op
+context-manager round trip.  Enabled via the ``REPRO_TRACE=1`` environment
+variable, the ``--trace`` CLI flags, or :func:`enable_tracing` in code.
+
+When enabled, :class:`trace_span` records :class:`SpanRecord` entries into
+the process-global :class:`Tracer`'s **monotonic-clock ring buffer**
+(``time.perf_counter_ns`` timestamps, a bounded :class:`~collections.deque`
+that drops the oldest finished spans once full).  Spans nest through a
+per-thread open-span stack, so the records form one well-formed tree per
+thread; records are appended on span *exit*, which means children precede
+their parents in buffer order (exporters in :mod:`repro.obs.export`
+reconstruct the tree from ``parent_id``).
+
+``trace_span`` is both a context manager and a decorator::
+
+    with trace_span("soi.filter", k=k):
+        ...
+
+    @trace_span("snapshot.export")
+    def export(...): ...
+
+The decorator form re-checks ``ENABLED`` on every call, so decorating at
+import time (when tracing is usually off) costs one branch per call.
+
+This module is also the only sanctioned clock source for ``core/`` and
+``serve/`` code: :func:`perf_now` / :func:`monotonic_now` re-export the
+monotonic timers so the REP-O501 lint rule can flag direct ``time.*``
+timer calls outside :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+from time import monotonic as monotonic_now
+from time import perf_counter as perf_now
+from time import perf_counter_ns as _clock_ns
+
+DEFAULT_CAPACITY = 65536
+"""Ring-buffer size of the global tracer: enough for several fully traced
+queries; older finished spans are dropped (and counted) beyond it."""
+
+
+def _env_enabled(value: str | None) -> bool:
+    return (value or "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+ENABLED: bool = _env_enabled(os.environ.get("REPRO_TRACE"))
+"""Module-level switch read by the instrumentation sites.  Mutate only
+through :func:`enable_tracing`."""
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn span tracing on (or off) for this process."""
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def tracing_enabled() -> bool:
+    """Whether span tracing is currently active."""
+    return ENABLED
+
+
+class tracing_scope:
+    """Context manager that sets the tracing switch and restores it on exit.
+
+    Used by the bench harness and the tests so a traced measurement cannot
+    leak the enabled state into subsequent untraced ones.
+    """
+
+    __slots__ = ("_on", "_previous")
+
+    def __init__(self, on: bool = True) -> None:
+        self._on = bool(on)
+        self._previous = ENABLED
+
+    def __enter__(self) -> "tracing_scope":
+        self._previous = ENABLED
+        enable_tracing(self._on)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        enable_tracing(self._previous)
+        return False
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span: monotonic nanosecond interval plus tree links.
+
+    ``parent_id`` is ``-1`` for a root span.  ``attrs`` carries the keyword
+    attributes given to :class:`trace_span`; a span that exited through an
+    exception gains an ``"error"`` attribute holding the exception type
+    name.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    start_ns: int
+    end_ns: int
+    thread_id: int
+    attrs: dict | None = None
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_ns - self.start_ns) / 1e9
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the exporters)."""
+        out = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "thread_id": self.thread_id,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class Tracer:
+    """A ring buffer of finished spans plus per-thread open-span stacks.
+
+    Span ids increase monotonically per tracer; the buffer keeps the most
+    recent ``capacity`` finished spans (``dropped`` counts the overflow).
+    All buffer mutation happens under a lock, and each thread nests spans
+    on its own stack, so concurrent traced sections (e.g. the bench
+    harness's threaded per-city setup) produce interleaved but internally
+    well-formed trees.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self.finished_total = 0
+        self.dropped = 0
+
+    # -- span lifecycle (driven by trace_span) -----------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self, name: str, attrs: dict | None = None) -> tuple:
+        """Open a span; returns the frame to pass to :meth:`finish`."""
+        stack = self._stack()
+        parent_id = stack[-1][0] if stack else -1
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        frame = (span_id, parent_id, name, attrs, _clock_ns())
+        stack.append(frame)
+        return frame
+
+    def finish(self, frame: tuple, exc_type: type | None = None) -> SpanRecord:
+        """Close a span frame and append its record to the ring buffer."""
+        end_ns = _clock_ns()
+        stack = self._stack()
+        # ``with``-statement discipline guarantees LIFO unwinding, including
+        # on exceptions; tolerate a mismatched frame rather than corrupting
+        # sibling spans.
+        if stack and stack[-1] is frame:
+            stack.pop()
+        elif frame in stack:  # pragma: no cover - defensive
+            stack.remove(frame)
+        span_id, parent_id, name, attrs, start_ns = frame
+        if exc_type is not None:
+            attrs = dict(attrs) if attrs else {}
+            attrs["error"] = exc_type.__name__
+        record = SpanRecord(
+            span_id=span_id, parent_id=parent_id, name=name,
+            start_ns=start_ns, end_ns=end_ns,
+            thread_id=threading.get_ident(), attrs=attrs)
+        with self._lock:
+            if len(self._buffer) == self.capacity:
+                self.dropped += 1
+            self._buffer.append(record)
+            self.finished_total += 1
+        return record
+
+    # -- buffer access -----------------------------------------------------
+
+    def mark(self) -> int:
+        """The next span id to be assigned (for :meth:`spans_since`)."""
+        with self._lock:
+            return self._next_id
+
+    def spans(self) -> list[SpanRecord]:
+        """Finished spans currently in the ring buffer (oldest first)."""
+        with self._lock:
+            return list(self._buffer)
+
+    def spans_since(self, mark: int) -> list[SpanRecord]:
+        """Finished spans whose id was assigned at or after ``mark``."""
+        return [span for span in self.spans() if span.span_id >= mark]
+
+    def drain(self) -> list[SpanRecord]:
+        """Return and clear the buffered spans."""
+        with self._lock:
+            out = list(self._buffer)
+            self._buffer.clear()
+            return out
+
+    def reset(self) -> None:
+        """Clear the buffer and all counters (ids keep increasing)."""
+        with self._lock:
+            self._buffer.clear()
+            self.finished_total = 0
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+TRACER = Tracer()
+"""The process-global tracer all :class:`trace_span` sites record into.
+Deliberately per-process: serving workers trace into their own buffer, and
+only the (picklable) metrics registry travels back to the parent."""
+
+
+class trace_span:
+    """Span over the global tracer — context manager *and* decorator.
+
+    As a context manager it opens a span when tracing is enabled and is a
+    no-op otherwise.  As a decorator it wraps the function in the same
+    span, re-checking the switch on every call.  Keyword arguments become
+    span attributes.
+    """
+
+    __slots__ = ("_name", "_attrs", "_frame")
+
+    def __init__(self, name: str, **attrs) -> None:
+        self._name = name
+        self._attrs = attrs or None
+        self._frame = None
+
+    def __enter__(self) -> "trace_span":
+        if ENABLED:
+            self._frame = TRACER.begin(self._name, self._attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        frame = self._frame
+        if frame is not None:
+            self._frame = None
+            TRACER.finish(frame, exc_type)
+        return False
+
+    def __call__(self, fn):
+        name, attrs = self._name, self._attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not ENABLED:
+                return fn(*args, **kwargs)
+            frame = TRACER.begin(name, attrs)
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException as exc:
+                TRACER.finish(frame, type(exc))
+                raise
+            TRACER.finish(frame, None)
+            return result
+
+        return wrapper
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "ENABLED",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "enable_tracing",
+    "monotonic_now",
+    "perf_now",
+    "trace_span",
+    "tracing_enabled",
+    "tracing_scope",
+]

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.core.interest import RelevantCellCache
+from repro.obs.metrics import REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.index.grid import CellCoord
@@ -119,14 +120,18 @@ class QuerySessionPool:
         with self._lock:
             session = self._sessions.get(signature)
             if session is None:
+                REGISTRY.inc("session.pool_misses")
                 session = QuerySession(self._poi_index, signature,
                                        self.generation)
                 self._sessions[signature] = session
                 while len(self._sessions) > self.maxsize:
                     self._sessions.popitem(last=False)
                     self.evictions += 1
+                    REGISTRY.inc("session.pool_evictions")
             else:
+                REGISTRY.inc("session.pool_hits")
                 self._sessions.move_to_end(signature)
+            REGISTRY.set_gauge("session.pool_size", len(self._sessions))
             return session
 
     def peek(self, signature: frozenset[str]) -> QuerySession | None:

@@ -33,12 +33,13 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro import errors
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import monotonic_now, perf_now, trace_span
 from repro.core.describe import STRelDivDescriber, build_street_profile
 from repro.core.describe.profile import DEFAULT_RHO
 from repro.core.soi import DEFAULT_EPS, AccessStrategy, SOIEngine
@@ -103,6 +104,16 @@ def serve_request(
     order.  ``describers`` (an :class:`~collections.OrderedDict`) enables
     LRU reuse of street profiles across describe queries.
     """
+    with trace_span("serve.request", kind=type(request).__name__):
+        return _serve_request_impl(engine, photos, request, describers)
+
+
+def _serve_request_impl(
+    engine: SOIEngine,
+    photos: "PhotoSet | None",
+    request: Request,
+    describers: "OrderedDict | None" = None,
+):
     if isinstance(request, SOIRequest):
         return engine.top_k(
             request.keywords, request.k, eps=request.eps,
@@ -166,7 +177,7 @@ def _worker_main(worker_id: int, tasks, results) -> None:
             if task is None:
                 break
             seq, shm_name, generation, request = task
-            started = time.perf_counter()
+            started = perf_now()
             try:
                 if view is not None and view.name != shm_name:
                     view.close()
@@ -185,8 +196,18 @@ def _worker_main(worker_id: int, tasks, results) -> None:
                 status, body = "error", (type(exc).__name__, str(exc))
             except Exception as exc:  # repro-lint: disable=REP-H302 (worker must not die; the error is reported to the parent verbatim)
                 status, body = "error", (type(exc).__name__, str(exc))
-            results.put((seq, worker_id, status, body,
-                         time.perf_counter() - started))
+            service_s = perf_now() - started
+            registry = obs_metrics.REGISTRY
+            registry.inc("serve.requests")
+            if status == "error":
+                registry.inc("serve.errors")
+            registry.observe("serve.request_s", service_s)
+            # Each response carries the worker's full metrics snapshot;
+            # the parent keeps only the latest dump per worker and merges
+            # them on demand, so worker metrics survive worker restarts
+            # and aggregate centrally without a side channel.
+            results.put((seq, worker_id, status, body, service_s,
+                         registry.to_dict()))
     finally:
         if view is not None:
             view.close()
@@ -228,6 +249,10 @@ class EngineServer:
         self._next_seq = 0
         self._pending: dict[int, tuple] = {}
         self._inflight: set[int] = set()
+        # Latest metrics dump and last completed request seq per worker id
+        # (updated on every arrival; read by metrics() and crash reports).
+        self._worker_metrics: dict[int, dict] = {}
+        self._last_done: dict[int, int] = {}
         self._closed = False
         self._stale_snapshots: list[IndexSnapshot] = []
         self._workers = [
@@ -267,6 +292,25 @@ class EngineServer:
         """Tasks submitted but not yet collected."""
         return len(self._inflight)
 
+    def metrics(self) -> "obs_metrics.MetricsRegistry":
+        """Aggregated worker metrics as a fresh registry.
+
+        Each response carries the answering worker's full
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot; this
+        merges the latest snapshot of every worker.  The merge is
+        commutative (counters add, gauges keep the max, histogram buckets
+        add), so the aggregate is deterministic regardless of response
+        arrival order.
+        """
+        merged = obs_metrics.MetricsRegistry()
+        for wid in sorted(self._worker_metrics):
+            merged.merge(self._worker_metrics[wid])
+        return merged
+
+    def metrics_dict(self) -> dict:
+        """JSON-ready aggregated worker metrics (see :meth:`metrics`)."""
+        return self.metrics().to_dict()
+
     # -- submission / collection ------------------------------------------
 
     def submit(self, request: Request) -> int:
@@ -297,19 +341,23 @@ class EngineServer:
         if not self._inflight:
             raise ReproError("no tasks in flight")
         deadline = (None if timeout is None
-                    else time.monotonic() + timeout)
+                    else monotonic_now() + timeout)
         while True:
             try:
-                seq, _wid, status, body, service_s = self._results.get(
-                    timeout=_POLL_SECONDS)
+                seq, wid, status, body, service_s, metrics_dump = \
+                    self._results.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
                 self._check_workers_alive()
-                if deadline is not None and time.monotonic() > deadline:
+                if deadline is not None and monotonic_now() > deadline:
                     raise TimeoutError(
                         f"no result within {timeout} s "
                         f"({len(self._inflight)} in flight)") from None
                 continue
             self._inflight.discard(seq)
+            if wid >= 0:
+                self._last_done[wid] = seq
+                if metrics_dump:
+                    self._worker_metrics[wid] = metrics_dump
             if status == "error":
                 raise _rehydrate_error(*body)
             return seq, body, service_s
@@ -425,27 +473,42 @@ class EngineServer:
     # -- internals --------------------------------------------------------
 
     def _check_workers_alive(self) -> None:
-        dead = [p.name for p in self._workers if not p.is_alive()]
+        dead = [(wid, p) for wid, p in enumerate(self._workers)
+                if not p.is_alive()]
         if dead and self._inflight:
             # Drain anything that raced in before declaring the loss.
             try:
                 while True:
-                    seq, _wid, status, body, service_s = \
+                    seq, wid, status, body, service_s, metrics_dump = \
                         self._results.get_nowait()
                     self._inflight.discard(seq)
+                    if wid >= 0:
+                        self._last_done[wid] = seq
+                        if metrics_dump:
+                            self._worker_metrics[wid] = metrics_dump
                     self._pending[seq] = (status, body, service_s)
             except queue_mod.Empty:
                 pass
             if self._pending:
-                # Re-inject drained results for next_result callers.
+                # Re-inject drained results for next_result callers (wid -1
+                # marks a re-injection: bookkeeping already happened above).
                 for seq, (status, body, service_s) in self._pending.items():
-                    self._results.put((seq, -1, status, body, service_s))
+                    self._results.put((seq, -1, status, body, service_s,
+                                       None))
                     self._inflight.add(seq)
                 self._pending = {}
                 return
+            descriptions = []
+            for wid, process in dead:
+                last = self._last_done.get(wid)
+                descriptions.append(
+                    f"{process.name} (pid {process.pid}, "
+                    f"exitcode {process.exitcode}, last completed request "
+                    f"{'none' if last is None else last})")
             raise WorkerCrashError(
-                f"worker(s) {', '.join(dead)} died with "
-                f"{len(self._inflight)} task(s) in flight")
+                f"worker(s) {', '.join(descriptions)} died with "
+                f"{len(self._inflight)} task(s) in flight; unaccounted "
+                f"request id(s): {sorted(self._inflight)}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"EngineServer(workers={len(self._workers)}, "

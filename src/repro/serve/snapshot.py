@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from repro.errors import SnapshotError
+from repro.obs.tracer import trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.soi import SOIEngine
@@ -247,6 +248,7 @@ class IndexSnapshot:
     # -- construction -----------------------------------------------------
 
     @classmethod
+    @trace_span("snapshot.export")
     def export(
         cls,
         engine: "SOIEngine",
@@ -298,6 +300,7 @@ class IndexSnapshot:
         return cls(shm, header, views, owner=True)
 
     @classmethod
+    @trace_span("snapshot.attach")
     def attach(cls, name: str, track: bool = True) -> "IndexSnapshot":
         """Map an exported block read-only.
 

@@ -28,6 +28,7 @@ from repro.index.grid import CellCoord, UniformGrid
 from repro.index.inverted import CellInvertedIndex, GlobalInvertedIndex
 from repro.index.poi_grid import POIGridIndex
 from repro.network.model import RoadNetwork, Segment, Street, Vertex
+from repro.obs.tracer import trace_span
 from repro.serve.snapshot import IndexSnapshot
 
 __all__ = [
@@ -67,6 +68,7 @@ def _cell_runs(
     ]
 
 
+@trace_span("snapshot.attach_pois")
 def attach_pois(snapshot: IndexSnapshot) -> POISet:
     """The POI table; coordinate/weight columns stay in shared memory."""
     ids = snapshot.array("poi_ids")
@@ -87,6 +89,7 @@ def attach_pois(snapshot: IndexSnapshot) -> POISet:
     return pois
 
 
+@trace_span("snapshot.attach_photo_set")
 def attach_photo_set(snapshot: IndexSnapshot) -> PhotoSet | None:
     """The photo table, or ``None`` if the snapshot was exported without one."""
     if not snapshot.meta.get("has_photos"):
@@ -107,6 +110,7 @@ def attach_photo_set(snapshot: IndexSnapshot) -> PhotoSet | None:
     return photos
 
 
+@trace_span("snapshot.attach_network")
 def attach_network(snapshot: IndexSnapshot) -> RoadNetwork:
     """The road network, with stored segment lengths (no recomputation)."""
     vertices = [
@@ -137,6 +141,7 @@ def attach_network(snapshot: IndexSnapshot) -> RoadNetwork:
     return RoadNetwork(vertices, segments, streets, validate=False)
 
 
+@trace_span("snapshot.attach_poi_index")
 def attach_poi_index(
     snapshot: IndexSnapshot, pois: POISet, extent: BBox
 ) -> POIGridIndex:
@@ -160,6 +165,7 @@ def attach_poi_index(
     return index
 
 
+@trace_span("snapshot.attach_cell_maps")
 def attach_cell_maps(
     snapshot: IndexSnapshot, network: RoadNetwork, grid: UniformGrid
 ) -> SegmentCellMaps:
@@ -195,6 +201,7 @@ def attach_cell_maps(
     return maps
 
 
+@trace_span("snapshot.attach_engine")
 def attach_engine(
     snapshot: IndexSnapshot, session_pool_size: int | None = None
 ) -> SOIEngine:

@@ -25,7 +25,7 @@ def serve_run(qps: float, p50: float) -> dict:
 
 
 def test_reports_carry_schema_version():
-    assert bench.SCHEMA_VERSION == 2
+    assert bench.SCHEMA_VERSION == 3
     run = serve_run(100.0, 0.01)
     assert run["schema_version"] == bench.SCHEMA_VERSION
 
@@ -69,10 +69,50 @@ def test_compare_latency_suite_medians():
 def test_compare_rejects_schema_mismatch():
     with pytest.raises(ValueError):
         bench.compare_reports({"schema_version": 1},
-                              {"schema_version": 2})
+                              {"schema_version": 3})
     # Reports predating the field default to version 1.
     with pytest.raises(ValueError):
         bench.compare_reports({}, serve_run(1.0, 1.0))
+
+
+def test_compare_accepts_v2_baseline_against_v3_current():
+    """Schema 3 only adds the obs section; v2 baselines stay comparable."""
+    assert bench.COMPARABLE_SCHEMAS == frozenset({2, 3})
+    base = {"schema_version": 2,
+            "cities": {"vienna": {"soi_median_s": 1.0}}}
+    current = {"schema_version": 3,
+               "cities": {"vienna": {"soi_median_s": 1.0,
+                                     "obs": {"span_count": 7}}}}
+    assert bench.compare_reports(current, base, tolerance=0.2) == []
+    # The obs medians are informational, never regression-gated.
+    slower_obs = {"schema_version": 3,
+                  "cities": {"vienna": {
+                      "soi_median_s": 1.0,
+                      "obs": {"median_trace_off_s": 9.0,
+                              "median_trace_on_s": 9.0}}}}
+    assert bench.compare_reports(
+        slower_obs, current, tolerance=0.2) == []
+
+
+def test_compare_noise_floor_absorbs_millisecond_jitter():
+    """Sub-``min_delta_s`` drifts never regress, however large relatively."""
+    base = {"schema_version": 2,
+            "cities": {"vienna": {"soi_median_s": 0.002,
+                                  "k_points": {"10": 0.003}}}}
+    jittered = {"schema_version": 2,
+                "cities": {"vienna": {"soi_median_s": 0.006,
+                                      "k_points": {"10": 0.007}}}}
+    # 2x-3x relative blowups, but each only +4ms absolute.
+    assert bench.compare_reports(jittered, base, tolerance=0.2) == []
+    # Tightening the floor restores the relative gate.
+    metrics = [r["metric"] for r in bench.compare_reports(
+        jittered, base, tolerance=0.2, min_delta_s=0.001)]
+    assert metrics == ["cities.vienna.soi_median_s",
+                       "cities.vienna.k_points.10"]
+    # QPS (higher-is-better) metrics are unaffected by the seconds floor.
+    slow = serve_run(50.0, 0.010)
+    assert any(r["metric"].endswith(".qps") for r in bench.compare_reports(
+        slow, serve_run(100.0, 0.010), tolerance=0.2))
 
 
 def test_compare_rejects_negative_tolerance():

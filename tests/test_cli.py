@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -134,6 +136,60 @@ class TestBench:
                      "--repeats", "1", "--scale", "0.05",
                      "--out", str(tmp_path),
                      "--check-against", str(baseline)]) == 2
+
+    def test_mode_soi_alias_and_trace_out(self, tmp_path, capsys):
+        import json
+
+        traces = tmp_path / "traces"
+        assert main(["bench", "--mode", "soi", "--cities", "vienna",
+                     "--repeats", "1", "--scale", "0.05",
+                     "--out", str(tmp_path),
+                     "--trace-out", str(traces)]) == 0
+        assert (tmp_path / "BENCH_soi.json").exists()
+        assert not (tmp_path / "BENCH_describe.json").exists()
+        report = json.loads((tmp_path / "BENCH_soi.json").read_text())
+        entry = report["cities"]["vienna"]
+        obs = entry["obs"]
+        assert obs["span_count"] > 0
+        assert obs["median_trace_off_s"] > 0
+        assert obs["median_trace_on_s"] > 0
+        assert entry["trace_files"]  # one Chrome trace per sweep point
+        for name in entry["trace_files"]:
+            path = Path(name)
+            assert path.parent == traces
+            trace = json.loads(path.read_text())
+            assert any(event["name"] == "soi.query"
+                       for event in trace["traceEvents"]), name
+        # Tracing state must not leak out of the bench run.
+        from repro.obs.tracer import tracing_enabled
+        assert not tracing_enabled()
+
+
+class TestMetrics:
+    def test_dumps_counters_and_histograms(self, data_dir, capsys):
+        assert main(["metrics", "--data", str(data_dir),
+                     "--keywords", "shop", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "soi.queries" in out
+        assert "soi.query_s" in out
+        assert "session.pool_size" in out
+
+    def test_json_dump_with_trace_and_slowlog(self, data_dir, capsys):
+        import json
+
+        from repro.obs.tracer import enable_tracing
+
+        try:
+            assert main(["metrics", "--data", str(data_dir),
+                         "--keywords", "shop", "--repeat", "1",
+                         "--json", "--trace", "--slow-threshold", "0"]) == 0
+        finally:
+            enable_tracing(False)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["soi.queries"] >= 1
+        assert payload["spans"]["count"] > 0
+        assert "soi.filter" in payload["spans"]["self_time_ns"]
+        assert payload["slow_queries"]  # threshold 0 records every query
 
 
 class TestParser:

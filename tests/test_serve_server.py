@@ -77,12 +77,50 @@ def test_worker_crash_raises_and_unlinks(small_engine):
     name = server.snapshot.name
     try:
         worker = server._workers[0]
-        os.kill(worker.pid, signal.SIGKILL)
+        pid = worker.pid
+        os.kill(pid, signal.SIGKILL)
         worker.join(timeout=10.0)
         assert not worker.is_alive()
         server.submit(SOIRequest(keywords=("food",), k=5))
-        with pytest.raises(WorkerCrashError):
+        with pytest.raises(WorkerCrashError) as excinfo:
             server.next_result(timeout=30.0)
+        # The crash report names the worker and the unaccounted request.
+        message = str(excinfo.value)
+        assert f"pid {pid}" in message
+        assert "last completed request" in message
+        assert "request id(s): [0]" in message
     finally:
         server.close()
     assert not shm_exists(name)
+
+
+def test_crash_message_reports_last_completed_request(small_engine):
+    server = EngineServer.for_engine(small_engine, workers=1)
+    try:
+        request = SOIRequest(keywords=("food",), k=5)
+        server.submit(request)
+        server.next_result(timeout=30.0)
+        worker = server._workers[0]
+        os.kill(worker.pid, signal.SIGKILL)
+        worker.join(timeout=10.0)
+        server.submit(request)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            server.next_result(timeout=30.0)
+        assert "last completed request 0" in str(excinfo.value)
+    finally:
+        server.close()
+
+
+def test_server_aggregates_worker_metrics(small_engine):
+    requests = [SOIRequest(keywords=("food",), k=5),
+                SOIRequest(keywords=("shop",), k=5),
+                SOIRequest(keywords=("food", "shop"), k=5)]
+    with EngineServer.for_engine(small_engine, workers=2) as server:
+        server.run(requests)
+        merged = server.metrics()
+        dump = server.metrics_dict()
+    assert merged.counter("serve.requests") == len(requests)
+    assert merged.counter("soi.queries") == len(requests)
+    hist = merged.histogram("serve.request_s")
+    assert hist is not None and hist.count == len(requests)
+    assert dump["counters"]["serve.requests"] == len(requests)

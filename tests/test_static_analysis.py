@@ -94,11 +94,16 @@ def test_d102_accepts_sorted_sets_and_membership():
 
 def test_d103_wall_clock_only_in_checked_dirs():
     src = "import time\nstamp = time.time()\n"
+    # In core/ a wall-clock read breaks determinism (D103) *and* bypasses
+    # the repro.obs clock funnel (O501) — both rules report it.
     assert rules_of(lint_source(src, relpath="repro/core/x.py",
-                                config=CONFIG)) == ["REP-D103"]
+                                config=CONFIG)) == ["REP-D103", "REP-O501"]
     assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
     timer = "import time\nt0 = time.perf_counter()\n"
-    assert lint_source(timer, relpath="repro/core/x.py", config=CONFIG) == []
+    assert rules_of(lint_source(timer, relpath="repro/index/x.py",
+                                config=CONFIG)) == []  # D103 allows timers
+    assert rules_of(lint_source(timer, relpath="repro/core/x.py",
+                                config=CONFIG)) == ["REP-O501"]
 
 
 # -- numeric rules ------------------------------------------------------------
@@ -359,6 +364,67 @@ def test_p403_only_in_serve_checked_dirs():
     assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
     assert rules_of(lint_source(src, relpath="repro/perf/x.py",
                                 config=CONFIG)) == ["REP-P403"]
+
+
+# -- observability rules ------------------------------------------------------
+
+def test_o501_flags_direct_timer_calls_in_checked_dirs():
+    src = ("import time\n"
+           "from time import perf_counter\n"
+           "def f():\n"
+           "    a = time.perf_counter()\n"
+           "    b = perf_counter()\n"
+           "    c = time.monotonic_ns()\n"
+           "    return a, b, c\n")
+    findings = lint_source(src, relpath="repro/serve/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-O501"] * 3
+
+
+def test_o501_accepts_obs_clocks_and_unchecked_dirs():
+    sanctioned = ("from repro.obs.tracer import perf_now\n"
+                  "def f():\n"
+                  "    return perf_now()\n")
+    assert lint_source(sanctioned, relpath="repro/core/x.py",
+                       config=CONFIG) == []
+    # perf/ may keep its own timers: only core/ and serve/ are funnelled.
+    direct = "import time\ns = time.perf_counter()\n"
+    assert lint_source(direct, relpath="repro/perf/x.py",
+                       config=CONFIG) == []
+    assert lint_source(direct, relpath="repro/obs/tracer.py",
+                       config=CONFIG) == []
+
+
+def test_o502_flags_hand_rolled_counter_dicts():
+    src = ("def f(keys):\n"
+           "    counts = {}\n"
+           "    for key in keys:\n"
+           "        counts[key] = counts.get(key, 0) + 1\n"
+           "    return counts\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-O502"]
+    aug = ("def f(counts, key):\n"
+           "    counts[key] += 1\n")
+    findings = lint_source(aug, relpath="repro/serve/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-O502"]
+
+
+def test_o502_accepts_non_counter_subscript_writes():
+    src = ("def f(out, values, pos, key):\n"
+           "    out[pos] = values[pos] + values[key]\n"  # not a .get default
+           "    out[pos] += values[key]\n"               # not a constant bump
+           "    out[key] = out.get(key, []) + [1]\n"     # list accumulation
+           "    return out\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+    # The same counter idioms are fine outside the funnelled packages.
+    counter = "def f(c, k):\n    c[k] += 1\n"
+    assert lint_source(counter, relpath="repro/eval/x.py",
+                       config=CONFIG) == []
+
+
+def test_o502_suppression_with_reason_is_honoured():
+    src = ("def f(freq, k):\n"
+           "    freq[k] += 1  # repro-lint: disable=REP-O502 (state)\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
 
 
 # -- suppressions, parse errors, baseline -------------------------------------
