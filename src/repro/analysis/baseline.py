@@ -27,6 +27,14 @@ BASELINE_VERSION = 1
 BaselineKey = tuple[str, str, str]
 
 
+class BaselineFormatError(ValueError):
+    """The baseline file exists but its schema is not one we can trust.
+
+    Silently ignoring an unknown version would un-baseline (or worse,
+    over-baseline) findings, so the gate must fail loudly instead.
+    """
+
+
 def fingerprint(finding: Finding, lines: list[str]) -> str:
     """Stable content hash of the line a finding points at."""
     text = ""
@@ -42,6 +50,14 @@ def load_baseline(path: Path) -> Counter[BaselineKey]:
     if not path.is_file():
         return Counter()
     data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise BaselineFormatError(
+            f"baseline {path} is not a JSON object")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineFormatError(
+            f"baseline {path} has unknown schema version {version!r} "
+            f"(expected {BASELINE_VERSION})")
     entries: Counter[BaselineKey] = Counter()
     for item in data.get("findings", []):
         entries[(item["rule"], item["path"], item["fingerprint"])] += 1

@@ -1,0 +1,483 @@
+"""Name-resolution call graph over the project, conservative on dynamics.
+
+The cross-module rules (REP-C6xx/F7xx/R8xx) need to know which functions
+are *transitively* reachable from a handful of entry points — worker
+loops, ``SOIEngine.top_k``, ``serve_request``.  This module builds a call
+graph good enough for that purpose using purely static name resolution:
+
+* module-scope functions and classes, including nested definitions
+  (``repro.serve.server.EngineServer.close``,
+  ``repro.serve.server._worker_main``);
+* ``from``-imports and module aliases via the same :class:`ImportMap`
+  the file-local rules use;
+* ``self.method()`` through a depth-first MRO walk over project bases;
+* parameter/return annotations (including string annotations,
+  ``Optional[X]`` and ``X | None``), single-assignment local variable
+  types (``snap = IndexSnapshot.attach(...)``), ``self.attr`` types
+  recorded from ``__init__``, and module-level singletons
+  (``TRACER = Tracer()`` makes ``TRACER.mark`` resolve).
+
+Dynamic dispatch that static names cannot settle (callbacks, dict-of-
+functions, ``getattr``) produces *no* edge; such call sites are counted
+per module in :attr:`CallGraph.unresolved` so ``repro lint --graph`` can
+triage resolution misses.  The graph therefore under-approximates
+reachability — rules built on it miss exotic flows but do not hallucinate
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.project import ParsedFile, ProjectIndex
+from repro.analysis.rules import ImportMap
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_DEFS = (*_FUNC_DEFS, ast.ClassDef)
+
+
+@dataclass(slots=True)
+class FunctionNode:
+    """One function/method definition in the project."""
+
+    qual: str
+    module: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    file: ParsedFile
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass(slots=True)
+class ClassNode:
+    """One class definition plus resolved bases and attribute types."""
+
+    qual: str
+    module: str
+    node: ast.ClassDef
+    file: ParsedFile
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, str] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+def body_nodes(fn: ast.AST) -> list[ast.AST]:
+    """All AST nodes of a function body, excluding nested def/class bodies.
+
+    Nested definitions are their own :class:`FunctionNode`/:class:`ClassNode`
+    scopes; their statements must not be attributed to the enclosing
+    function.  The nested ``def``/``class`` *statement* itself is included
+    (decorators and defaults run in the outer scope).
+    """
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, _SCOPE_DEFS):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+class CallGraph:
+    """Static call graph of a :class:`ProjectIndex`.
+
+    ``functions``/``classes`` map qualified names to their nodes;
+    ``edges`` maps caller quals to callee quals; ``instances`` maps
+    module-level singleton dotted names to class quals; ``unresolved``
+    counts call sites per module whose target static resolution gave up
+    on (fed to ``repro lint --graph``).
+    """
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.edges: dict[str, set[str]] = {}
+        self.instances: dict[str, str] = {}
+        self.returns: dict[str, str] = {}
+        self.unresolved: dict[str, int] = {}
+        self._imports: dict[str, ImportMap] = {}
+        self._collect_definitions()
+        self._resolve_types()
+        self._resolve_edges()
+
+    @classmethod
+    def build(cls, project: ProjectIndex) -> "CallGraph":
+        return cls(project)
+
+    # -- pass 1: definitions ----------------------------------------------
+
+    def _collect_definitions(self) -> None:
+        for parsed in self.project.files:
+            assert parsed.tree is not None
+            if parsed.module:
+                self._imports[parsed.module] = ImportMap.of(parsed.tree)
+            self._collect_scope(parsed, parsed.tree.body,
+                                parsed.module, cls=None)
+
+    def _collect_scope(self, parsed: ParsedFile, body: list[ast.stmt],
+                       prefix: str, cls: str | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, _FUNC_DEFS):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                self.functions[qual] = FunctionNode(
+                    qual=qual, module=parsed.module, cls=cls,
+                    node=stmt, file=parsed)
+                if cls is not None and cls in self.classes:
+                    self.classes[cls].methods.setdefault(stmt.name, qual)
+                self._collect_scope(parsed, stmt.body, qual, cls=cls)
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                self.classes[qual] = ClassNode(
+                    qual=qual, module=parsed.module, node=stmt, file=parsed)
+                self._collect_scope(parsed, stmt.body, qual, cls=qual)
+
+    # -- pass 2: types -----------------------------------------------------
+
+    def _resolve_types(self) -> None:
+        for cnode in self.classes.values():
+            for base in cnode.node.bases:
+                target = self._resolve_expr_class(cnode.module, base)
+                if target is not None:
+                    cnode.bases.append(target)
+        for parsed in self.project.files:
+            assert parsed.tree is not None
+            self._collect_instances(parsed)
+        for fnode in self.functions.values():
+            target = self._resolve_annotation(fnode.module,
+                                              fnode.node.returns)
+            if target is not None:
+                self.returns[fnode.qual] = target
+        for fnode in self.functions.values():
+            if fnode.cls is not None:
+                self._collect_attr_types(fnode)
+
+    def _collect_instances(self, parsed: ParsedFile) -> None:
+        """Module-level ``NAME = ClassRef(...)`` singleton bindings."""
+        assert parsed.tree is not None
+        for stmt in parsed.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            cls_qual = self._resolve_expr_class(parsed.module, value.func)
+            if cls_qual is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.instances[f"{parsed.module}.{target.id}"] = cls_qual
+
+    def _collect_attr_types(self, fnode: FunctionNode) -> None:
+        """``self.X = ClassName(...)`` / annotated-param assignments."""
+        assert fnode.cls is not None
+        cnode = self.classes.get(fnode.cls)
+        if cnode is None:
+            return
+        param_types = self._param_types(fnode)
+        for node in body_nodes(fnode.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, \
+                    node.annotation
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            cls_qual: str | None = None
+            if annotation is not None:
+                cls_qual = self._resolve_annotation(fnode.module, annotation)
+            if cls_qual is None and isinstance(value, ast.Call):
+                cls_qual = self._resolve_expr_class(fnode.module, value.func)
+                if cls_qual is None:
+                    callee = self._resolve_call_target(fnode, {}, value.func)
+                    if callee is not None:
+                        cls_qual = self.returns.get(callee)
+            if cls_qual is None and isinstance(value, ast.Name):
+                cls_qual = param_types.get(value.id)
+            if cls_qual is not None:
+                cnode.attr_types.setdefault(target.attr, cls_qual)
+
+    def _param_types(self, fnode: FunctionNode) -> dict[str, str]:
+        types: dict[str, str] = {}
+        args = fnode.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            target = self._resolve_annotation(fnode.module, arg.annotation)
+            if target is not None:
+                types[arg.arg] = target
+        return types
+
+    # -- name/annotation resolution ---------------------------------------
+
+    def _resolve_symbol(self, module: str, name: str) -> str | None:
+        """Project qual a bare name refers to inside ``module``."""
+        for table in (self.functions, self.classes, self.instances):
+            if f"{module}.{name}" in table:
+                return f"{module}.{name}"
+        imports = self._imports.get(module)
+        if imports is None:
+            return None
+        origin = imports.members.get(name)
+        if origin is not None:
+            for table in (self.functions, self.classes, self.instances):
+                if origin in table:
+                    return origin
+        alias = imports.modules.get(name)
+        if alias is not None and alias in self.project.by_module:
+            return alias
+        return None
+
+    def _resolve_dotted(self, module: str, func: ast.expr) -> str | None:
+        """Resolve an attribute chain through the module's import map."""
+        imports = self._imports.get(module)
+        if imports is None:
+            return None
+        if isinstance(func, ast.Name):
+            return self._resolve_symbol(module, func.id)
+        dotted = imports.canonical_call_name(func)
+        if dotted is None:
+            return None
+        for table in (self.functions, self.classes, self.instances):
+            if dotted in table:
+                return dotted
+        return None
+
+    def _resolve_expr_class(self, module: str,
+                            expr: ast.expr) -> str | None:
+        """Class qual an expression names (``Tracer``, ``obs.Tracer``)."""
+        if isinstance(expr, ast.Name):
+            target = self._resolve_symbol(module, expr.id)
+        elif isinstance(expr, ast.Attribute):
+            target = self._resolve_dotted(module, expr)
+            if target is None and isinstance(expr.value, ast.Name):
+                base = self._resolve_symbol(module, expr.value.id)
+                if base is not None:
+                    target = f"{base}.{expr.attr}"
+        else:
+            return None
+        return target if target in self.classes else None
+
+    def _resolve_annotation(self, module: str,
+                            annotation: ast.expr | None) -> str | None:
+        """Class qual of an annotation, unwrapping the common wrappers."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval")
+            except SyntaxError:
+                return None
+            return self._resolve_annotation(module, parsed.body)
+        if isinstance(annotation, ast.BinOp) \
+                and isinstance(annotation.op, ast.BitOr):
+            return (self._resolve_annotation(module, annotation.left)
+                    or self._resolve_annotation(module, annotation.right))
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            base_name = base.attr if isinstance(base, ast.Attribute) \
+                else base.id if isinstance(base, ast.Name) else ""
+            if base_name == "Optional":
+                return self._resolve_annotation(module, annotation.slice)
+            return None
+        return self._resolve_expr_class(module, annotation)
+
+    def lookup_method(self, cls_qual: str | None,
+                      method: str) -> str | None:
+        """MRO-style method lookup: the class, then its bases depth-first."""
+        seen: set[str] = set()
+        stack = [cls_qual] if cls_qual else []
+        while stack:
+            current = stack.pop(0)
+            if current is None or current in seen:
+                continue
+            seen.add(current)
+            cnode = self.classes.get(current)
+            if cnode is None:
+                continue
+            if method in cnode.methods:
+                return cnode.methods[method]
+            stack[0:0] = cnode.bases
+        return None
+
+    # -- pass 3: edges -----------------------------------------------------
+
+    def _resolve_edges(self) -> None:
+        for fnode in self.functions.values():
+            callees = self.edges.setdefault(fnode.qual, set())
+            var_types = self.local_var_types(fnode)
+            for node in body_nodes(fnode.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = self._resolve_call_target(fnode, var_types,
+                                                   node.func)
+                if target is None:
+                    if self._counts_as_unresolved(fnode, node.func):
+                        self.unresolved[fnode.module] = \
+                            self.unresolved.get(fnode.module, 0) + 1
+                    continue
+                if target in self.classes:
+                    init = self.lookup_method(target, "__init__")
+                    if init is not None:
+                        callees.add(init)
+                    continue
+                if target in self.functions:
+                    callees.add(target)
+
+    def local_var_types(self, fnode: FunctionNode) -> dict[str, str]:
+        """Single-assignment local types: annotations and constructor calls.
+
+        ``body_nodes`` yields nodes in no particular order, so the
+        single-assignment test is a count: a name assigned more than once
+        (or shadowing a typed parameter) gets *no* inferred type rather
+        than a guess.
+        """
+        param_types = self._param_types(fnode)
+        counts: dict[str, int] = {}
+        candidates: dict[str, str] = {}
+        for node in body_nodes(fnode.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, \
+                    node.annotation
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            counts[name] = counts.get(name, 0) + 1
+            cls_qual: str | None = None
+            if annotation is not None:
+                cls_qual = self._resolve_annotation(fnode.module, annotation)
+            if cls_qual is None and isinstance(value, ast.Call):
+                cls_qual = self._resolve_expr_class(fnode.module, value.func)
+                if cls_qual is None:
+                    callee = self._resolve_call_target(fnode, param_types,
+                                                       value.func)
+                    if callee is not None:
+                        cls_qual = self.returns.get(callee)
+            if cls_qual is not None:
+                if name in candidates and candidates[name] != cls_qual:
+                    counts[name] += 1  # conflicting types: poison the name
+                else:
+                    candidates[name] = cls_qual
+        types = {name: cls for name, cls in param_types.items()
+                 if name not in counts}
+        types.update({name: cls for name, cls in candidates.items()
+                      if counts.get(name) == 1})
+        return types
+
+    def _resolve_call_target(self, fnode: FunctionNode,
+                             var_types: dict[str, str],
+                             func: ast.expr) -> str | None:
+        """Project qual (function, class, or None) of one call target."""
+        module = fnode.module
+        if isinstance(func, ast.Name):
+            nested = f"{fnode.qual}.{func.id}"
+            if nested in self.functions:
+                return nested
+            return self._resolve_symbol(module, func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        base, method = func.value, func.attr
+        # self.method() / cls.method()
+        if isinstance(base, ast.Name) and base.id in ("self", "cls") \
+                and fnode.cls is not None:
+            return self.lookup_method(fnode.cls, method)
+        # self.attr.method()
+        if isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name) \
+                and base.value.id == "self" and fnode.cls is not None:
+            cnode = self.classes.get(fnode.cls)
+            attr_cls = cnode.attr_types.get(base.attr) if cnode else None
+            return self.lookup_method(attr_cls, method)
+        if isinstance(base, ast.Name):
+            # typed local / parameter
+            local_cls = var_types.get(base.id)
+            if local_cls is not None:
+                return self.lookup_method(local_cls, method)
+            target = self._resolve_symbol(module, base.id)
+            if target is not None:
+                if target in self.instances:
+                    return self.lookup_method(self.instances[target], method)
+                if target in self.classes:
+                    return self.lookup_method(target, method)
+                if target in self.project.by_module:
+                    # module alias: mod.func() / mod.Class()
+                    for table in (self.functions, self.classes):
+                        if f"{target}.{method}" in table:
+                            return f"{target}.{method}"
+                return None
+        # fully dotted chains (pkg.mod.NAME.method / pkg.mod.func)
+        dotted = self._resolve_dotted(module, func)
+        if dotted is not None:
+            return dotted
+        imports = self._imports.get(module)
+        if imports is not None:
+            chain = imports.canonical_call_name(func)
+            if chain is not None and "." in chain:
+                head, tail = chain.rsplit(".", 1)
+                if head in self.instances:
+                    return self.lookup_method(self.instances[head], tail)
+        return None
+
+    def _counts_as_unresolved(self, fnode: FunctionNode,
+                              func: ast.expr) -> bool:
+        """Whether a miss is worth surfacing in the ``--graph`` dump.
+
+        Calls whose root is an *external* import (numpy, stdlib) or a
+        builtin are expected misses; what we want to triage are project
+        receivers the resolver could not type.
+        """
+        node = func
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return True  # call on a call result / subscript: dynamic
+        if isinstance(func, ast.Name):
+            return False  # plain name: builtin or local callable
+        imports = self._imports.get(fnode.module)
+        if imports is not None and (node.id in imports.modules
+                                    or node.id in imports.members):
+            dotted = imports.canonical_call_name(func)
+            internal = dotted is not None and \
+                dotted.split(".", 1)[0] in {"repro", "tests", "benchmarks"}
+            return internal
+        return True
+
+    # -- stats / accessors -------------------------------------------------
+
+    def imports_for(self, module: str) -> ImportMap:
+        imports = self._imports.get(module)
+        return imports if imports is not None else ImportMap()
+
+    def resolve_class(self, module: str, expr: ast.expr) -> str | None:
+        """Public façade over class-expression resolution (for rules)."""
+        return self._resolve_expr_class(module, expr)
+
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.edges.values())
+
+
+__all__ = ["CallGraph", "ClassNode", "FunctionNode", "body_nodes"]

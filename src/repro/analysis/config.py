@@ -52,6 +52,30 @@ class LintConfig:
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})
     disabled_rules: tuple[str, ...] = ()
+    # -- cross-module pass (REP-C6xx / F7xx / R8xx) -----------------------
+    cross_module: bool = True
+    # Functions executed inside (or on behalf of) serving workers: the
+    # REP-C601 fork-safety walk starts here.
+    worker_entrypoints: tuple[str, ...] = (
+        "repro.serve.server._worker_main",
+        "repro.serve.server.serve_request",
+    )
+    # The paper's exact-result hot paths: REP-F701/F702 flag any
+    # nondeterminism transitively reachable from these.
+    flow_entrypoints: tuple[str, ...] = (
+        "repro.core.soi.SOIEngine.top_k",
+        "repro.core.soi.SOIEngine.top_k_with_stats",
+        "repro.core.describe.greedy.GreedyDescriber.select",
+        "repro.core.describe.greedy.GreedyDescriber.select_with_stats",
+        "repro.core.describe.st_rel_div.STRelDivDescriber.select",
+        "repro.core.describe.st_rel_div.STRelDivDescriber.select_with_stats",
+        "repro.serve.server.serve_request",
+    )
+    # Module prefixes whose functions the flow rules skip: telemetry is
+    # *sanctioned* wall-clock use, datagen is seeded by contract, and the
+    # linter itself never runs on the hot path.
+    flow_exempt_modules: tuple[str, ...] = (
+        "repro.obs", "repro.analysis", "repro.datagen")
     root: Path | None = None
 
     def baseline_path(self) -> Path:

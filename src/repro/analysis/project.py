@@ -1,0 +1,266 @@
+"""Project-wide source model: content-hash AST cache and module index.
+
+The PR-1 linter parsed each file once *per run* — and the tier-1 gate,
+the ``repro lint`` CLI and (now) the cross-module pass each constituted a
+run.  This module gives all of them one shared parse:
+
+* :class:`ASTCache` — a process-global cache keyed by the SHA-1 of the
+  file *content*.  A cache hit returns the stored AST and line table
+  without re-parsing; an edit (different hash) re-parses exactly that
+  file.  Trees are treated as immutable by every consumer (rules build
+  their parent maps externally), so sharing is safe.
+* :class:`ParsedFile` — one parsed source file plus the derived facts
+  every pass needs: line table, ``repro``-package location, dotted module
+  name, inline suppressions.
+* :class:`ProjectIndex` — the set of parsed files of one lint run,
+  addressable by module name and by repo-relative path, plus the
+  project-internal import graph.  The cross-module rules
+  (:mod:`repro.analysis.rules.crossmodule`) and the call graph
+  (:mod:`repro.analysis.callgraph`) are built on top of it.
+  :meth:`ProjectIndex.from_sources` builds a synthetic project from
+  in-memory sources, which is what the rule unit tests use.
+
+Everything here is stdlib-only, like the rest of the analysis package.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Suppression, parse_suppressions
+
+PACKAGE_ANCHOR = "repro"
+
+
+def _package_parts(relpath: str, path: Path | None) -> tuple[str, ...]:
+    """Path parts below the ``repro`` package anchor ('' context otherwise).
+
+    Mirrors the logic of ``FileContext``: the relpath may have been
+    computed against a root *inside* the package (no pyproject.toml above
+    the file), in which case the absolute path still carries the anchor.
+    """
+    parts = Path(relpath).parts
+    if PACKAGE_ANCHOR not in parts and path is not None \
+            and PACKAGE_ANCHOR in path.parts:
+        parts = path.parts
+    if PACKAGE_ANCHOR in parts:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index(PACKAGE_ANCHOR)
+        return parts[anchor + 1:]
+    return ()
+
+
+def _module_name(relpath: str, path: Path | None,
+                 package_parts: tuple[str, ...]) -> str:
+    """Dotted module name: ``repro.serve.server`` / ``tests.test_obs``."""
+    if package_parts:
+        parts = (PACKAGE_ANCHOR, *package_parts)
+    else:
+        parts = Path(relpath).parts
+    parts = list(parts)
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[:-3]
+    if leaf == "__init__":
+        parts = parts[:-1]
+    else:
+        parts[-1] = leaf
+    return ".".join(part for part in parts if part)
+
+
+@dataclass(slots=True)
+class ParsedFile:
+    """One parsed source file plus the facts shared by every lint pass."""
+
+    path: Path
+    relpath: str
+    source: str
+    lines: list[str]
+    tree: ast.Module | None
+    error: SyntaxError | None
+    sha1: str
+    package_parts: tuple[str, ...]
+    module: str
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def in_package(self) -> bool:
+        """Whether the file lives inside the ``repro`` package."""
+        return bool(self.package_parts) or \
+            Path(self.relpath).name == "__init__.py" and \
+            PACKAGE_ANCHOR in Path(self.relpath).parts
+
+    @property
+    def top_dir(self) -> str:
+        return (self.package_parts[0]
+                if len(self.package_parts) > 1 else "")
+
+
+def parse_source(source: str, relpath: str,
+                 path: Path | None = None) -> ParsedFile:
+    """Parse one source string into a :class:`ParsedFile` (no caching)."""
+    lines = source.splitlines()
+    tree: ast.Module | None = None
+    error: SyntaxError | None = None
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        error = exc
+    package_parts = _package_parts(relpath, path)
+    return ParsedFile(
+        path=path or Path(relpath),
+        relpath=relpath,
+        source=source,
+        lines=lines,
+        tree=tree,
+        error=error,
+        sha1=hashlib.sha1(source.encode("utf-8")).hexdigest(),
+        package_parts=package_parts,
+        module=_module_name(relpath, path, package_parts),
+        suppressions=parse_suppressions(lines),
+    )
+
+
+class ASTCache:
+    """Process-global parse cache keyed by file path + content hash.
+
+    ``get`` re-reads the file's bytes (cheap) and re-hashes them; only on
+    a hash miss is the source re-parsed.  The cached AST/lines/suppression
+    objects are shared between the returned :class:`ParsedFile` instances
+    — consumers must treat them as immutable (they do: rules keep parent
+    maps and other derived state outside the tree).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[Path, ParsedFile] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, path: Path, relpath: str) -> ParsedFile:
+        path = path.resolve()
+        source = path.read_text(encoding="utf-8")
+        sha1 = hashlib.sha1(source.encode("utf-8")).hexdigest()
+        cached = self._entries.get(path)
+        if cached is not None and cached.sha1 == sha1:
+            self.hits += 1
+            if cached.relpath == relpath:
+                return cached
+            # Same content, different root: share the parsed tree, adjust
+            # the path-derived fields.
+            package_parts = _package_parts(relpath, path)
+            return ParsedFile(
+                path=path, relpath=relpath, source=cached.source,
+                lines=cached.lines, tree=cached.tree, error=cached.error,
+                sha1=sha1, package_parts=package_parts,
+                module=_module_name(relpath, path, package_parts),
+                suppressions=cached.suppressions)
+        self.misses += 1
+        parsed = parse_source(source, relpath, path=path)
+        self._entries[path] = parsed
+        return parsed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+AST_CACHE = ASTCache()
+"""The shared cache: the tier-1 gate, the CLI and the cross-module pass
+all parse through it, so one lint run parses each file at most once and
+repeat runs in the same process parse only edited files."""
+
+
+class ProjectIndex:
+    """The parsed files of one lint run, indexed for cross-module analysis.
+
+    ``files`` preserves discovery order (sorted paths); ``by_module`` and
+    ``by_relpath`` give O(1) addressing.  ``import_graph`` maps each
+    module to the *project-internal* modules it imports (stdlib and
+    third-party targets are dropped), which the ``--graph`` dump and the
+    call-graph builder use.
+    """
+
+    def __init__(self, files: list[ParsedFile]) -> None:
+        self.files: list[ParsedFile] = [f for f in files if f.tree is not None]
+        self.by_relpath: dict[str, ParsedFile] = {
+            f.relpath: f for f in self.files}
+        self.by_module: dict[str, ParsedFile] = {}
+        for f in self.files:
+            if f.module:
+                self.by_module.setdefault(f.module, f)
+        self.import_graph: dict[str, set[str]] = {
+            f.module: self._internal_imports(f) for f in self.files if f.module}
+
+    @classmethod
+    def from_parsed(cls, files: list[ParsedFile]) -> "ProjectIndex":
+        return cls(files)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "ProjectIndex":
+        """A synthetic project from ``{relpath: source}`` (for unit tests)."""
+        return cls([parse_source(text, relpath)
+                    for relpath, text in sorted(sources.items())])
+
+    # -- import graph ------------------------------------------------------
+
+    def _internal_imports(self, parsed: ParsedFile) -> set[str]:
+        targets: set[str] = set()
+        assert parsed.tree is not None
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in self.by_module:
+                        targets.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute_import_base(parsed, node)
+                if base is None:
+                    continue
+                if base in self.by_module:
+                    targets.add(base)
+                for alias in node.names:
+                    candidate = f"{base}.{alias.name}"
+                    if candidate in self.by_module:
+                        targets.add(candidate)
+        targets.discard(parsed.module)
+        return targets
+
+    @staticmethod
+    def _absolute_import_base(parsed: ParsedFile,
+                              node: ast.ImportFrom) -> str | None:
+        """The absolute module an ``ImportFrom`` resolves against."""
+        if not node.level:
+            return node.module
+        parts = parsed.module.split(".")
+        if Path(parsed.relpath).name != "__init__.py":
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            parts = parts[:-drop] if drop < len(parts) else []
+        if node.module:
+            parts = [*parts, node.module]
+        return ".".join(parts) if parts else None
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ProjectIndex(files={len(self.files)}, "
+                f"modules={len(self.by_module)})")
+
+
+__all__ = [
+    "AST_CACHE",
+    "ASTCache",
+    "PACKAGE_ANCHOR",
+    "ParsedFile",
+    "ProjectIndex",
+    "parse_source",
+]

@@ -1,0 +1,95 @@
+"""Fixed-point reachability over the call graph, with witness paths.
+
+The interprocedural rules all reduce to the same question: *which
+functions can execution reach from these roots, and by what route?*
+This module answers it with a plain BFS (edges are already materialised
+by :mod:`repro.analysis.callgraph`) plus a generic worklist
+``fixed_point`` for rules that propagate richer facts (taint) instead of
+a boolean.
+
+Witness paths matter for the findings: "``time.time`` reachable from
+``serve_request``" is only actionable with the chain
+``serve_request → _score → _jitter`` attached, so :func:`reachable`
+keeps BFS parent pointers and :func:`call_path` reconstructs the chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Mapping, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+def reachable(edges: Mapping[N, Iterable[N]],
+              roots: Iterable[N]) -> dict[N, N | None]:
+    """BFS closure of ``roots``: node → BFS parent (roots map to None).
+
+    The returned dict's keys are the reachable set; the parent pointers
+    reconstruct shortest witness paths via :func:`call_path`.  Roots
+    absent from ``edges`` are still included (reachable, no callees).
+    """
+    parents: dict[N, N | None] = {}
+    queue: deque[N] = deque()
+    for root in roots:
+        if root not in parents:
+            parents[root] = None
+            queue.append(root)
+    while queue:
+        node = queue.popleft()
+        for callee in edges.get(node, ()):
+            if callee not in parents:
+                parents[callee] = node
+                queue.append(callee)
+    return parents
+
+
+def call_path(parents: Mapping[N, N | None], node: N) -> list[N]:
+    """Witness path root → ... → node from BFS parent pointers."""
+    path: list[N] = []
+    current: N | None = node
+    while current is not None:
+        path.append(current)
+        current = parents.get(current)
+    path.reverse()
+    return path
+
+
+def backward_closure(edges: Mapping[N, Iterable[N]],
+                     targets: Iterable[N]) -> set[N]:
+    """All nodes from which some target is reachable (callers-of closure)."""
+    reverse: dict[N, set[N]] = {}
+    for caller, callees in edges.items():
+        for callee in callees:
+            reverse.setdefault(callee, set()).add(caller)
+    return set(reachable(reverse, targets))
+
+
+def fixed_point(nodes: Iterable[N],
+                edges: Mapping[N, Iterable[N]],
+                init: Callable[[N], frozenset],
+                transfer: Callable[[N, frozenset], frozenset]) -> \
+        dict[N, frozenset]:
+    """Generic forward worklist solver for set-valued dataflow facts.
+
+    Each node starts at ``init(node)``; whenever a node's fact set grows,
+    ``transfer(callee, facts)`` pushes (a possibly filtered copy of) the
+    facts into each callee, until no set changes.  Facts only ever grow,
+    so termination is guaranteed for finite fact domains.
+    """
+    facts: dict[N, frozenset] = {node: init(node) for node in nodes}
+    work: deque[N] = deque(facts)
+    while work:
+        node = work.popleft()
+        current = facts.get(node, frozenset())
+        for callee in edges.get(node, ()):
+            pushed = transfer(callee, current)
+            before = facts.get(callee, frozenset())
+            merged = before | pushed
+            if merged != before:
+                facts[callee] = merged
+                work.append(callee)
+    return facts
+
+
+__all__ = ["backward_closure", "call_path", "fixed_point", "reachable"]

@@ -231,7 +231,8 @@ class Tracer:
             self.dropped = 0
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        with self._lock:
+            return len(self._buffer)
 
 
 TRACER = Tracer()

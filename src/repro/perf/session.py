@@ -153,7 +153,9 @@ class QuerySessionPool:
                 self._poi_index = poi_index
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def __contains__(self, signature: frozenset[str]) -> bool:
-        return signature in self._sessions
+        with self._lock:
+            return signature in self._sessions

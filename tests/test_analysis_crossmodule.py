@@ -1,0 +1,565 @@
+"""Tests for the project-wide analysis engine and interprocedural rules.
+
+Covers the three tentpole layers (project index / AST cache, call graph,
+reachability) plus a planted-bug + fixed-code pair for every
+REP-C6xx/F7xx/R8xx rule, mirroring how ``tests/test_static_analysis.py``
+exercises the file-local families.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import lint_project_sources
+from repro.analysis.project import ASTCache, ProjectIndex, parse_source
+from repro.analysis.reach import (
+    backward_closure,
+    call_path,
+    fixed_point,
+    reachable,
+)
+
+CONFIG = LintConfig()
+
+
+def rules_of(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# -- project index / module naming --------------------------------------------
+
+def test_module_naming():
+    assert parse_source("", "src/repro/serve/server.py").module == \
+        "repro.serve.server"
+    assert parse_source("", "src/repro/obs/__init__.py").module == "repro.obs"
+    assert parse_source("", "tests/test_x.py").module == "tests.test_x"
+    assert parse_source("", "benchmarks/bench_a.py").module == \
+        "benchmarks.bench_a"
+
+
+def test_in_package_classification():
+    assert parse_source("", "src/repro/core/soi.py").in_package
+    assert not parse_source("", "tests/test_x.py").in_package
+    assert not parse_source("", "benchmarks/bench_a.py").in_package
+
+
+def test_import_graph_tracks_internal_imports_only():
+    project = ProjectIndex.from_sources({
+        "repro/a.py": "import os\nfrom repro.b import helper\n",
+        "repro/b.py": "def helper():\n    return 1\n",
+        "repro/c.py": "from repro import a\n",
+    })
+    assert project.import_graph["repro.a"] == {"repro.b"}
+    assert project.import_graph["repro.b"] == set()
+    assert project.import_graph["repro.c"] == {"repro.a"}
+
+
+def test_relative_import_resolution():
+    project = ProjectIndex.from_sources({
+        "repro/serve/server.py": "from .snapshot import IndexSnapshot\n",
+        "repro/serve/snapshot.py": "class IndexSnapshot:\n    pass\n",
+    })
+    assert project.import_graph["repro.serve.server"] == \
+        {"repro.serve.snapshot"}
+
+
+def test_syntax_error_files_are_excluded_from_project():
+    project = ProjectIndex.from_sources({
+        "repro/ok.py": "x = 1\n",
+        "repro/bad.py": "def broken(:\n",
+    })
+    assert len(project) == 1
+    assert "repro.ok" in project.by_module
+
+
+# -- AST cache ----------------------------------------------------------------
+
+def test_ast_cache_hits_on_unchanged_content(tmp_path):
+    cache = ASTCache()
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    first = cache.get(target, "mod.py")
+    second = cache.get(target, "mod.py")
+    assert cache.misses == 1 and cache.hits == 1
+    assert second.tree is first.tree  # the parse is shared, not repeated
+
+
+def test_ast_cache_invalidates_on_content_change(tmp_path):
+    cache = ASTCache()
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    first = cache.get(target, "mod.py")
+    target.write_text("x = 2\n", encoding="utf-8")
+    second = cache.get(target, "mod.py")
+    assert cache.misses == 2
+    assert second.tree is not first.tree
+    assert second.sha1 != first.sha1
+
+
+def test_ast_cache_shares_tree_across_relpaths(tmp_path):
+    cache = ASTCache()
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    first = cache.get(target, "a/mod.py")
+    second = cache.get(target, "b/mod.py")
+    assert second.tree is first.tree
+    assert second.relpath == "b/mod.py"
+
+
+# -- call graph ---------------------------------------------------------------
+
+def _graph(sources: dict[str, str]) -> CallGraph:
+    return CallGraph(ProjectIndex.from_sources(sources))
+
+
+def test_callgraph_resolves_module_and_imported_functions():
+    graph = _graph({
+        "repro/a.py": ("from repro.b import helper\n"
+                       "def run():\n"
+                       "    helper()\n"
+                       "    local()\n"
+                       "def local():\n    pass\n"),
+        "repro/b.py": "def helper():\n    pass\n",
+    })
+    assert graph.edges["repro.a.run"] == {"repro.b.helper", "repro.a.local"}
+
+
+def test_callgraph_resolves_self_methods_and_mro():
+    graph = _graph({
+        "repro/a.py": (
+            "class Base:\n"
+            "    def shared(self):\n        pass\n"
+            "class Child(Base):\n"
+            "    def go(self):\n"
+            "        self.shared()\n"
+            "        self.own()\n"
+            "    def own(self):\n        pass\n"),
+    })
+    assert graph.edges["repro.a.Child.go"] == \
+        {"repro.a.Base.shared", "repro.a.Child.own"}
+
+
+def test_callgraph_resolves_module_level_singletons():
+    graph = _graph({
+        "repro/obs.py": (
+            "class Tracer:\n"
+            "    def mark(self):\n        pass\n"
+            "TRACER = Tracer()\n"),
+        "repro/user.py": ("from repro.obs import TRACER\n"
+                          "def use():\n"
+                          "    TRACER.mark()\n"),
+    })
+    assert graph.instances["repro.obs.TRACER"] == "repro.obs.Tracer"
+    assert graph.edges["repro.user.use"] == {"repro.obs.Tracer.mark"}
+
+
+def test_callgraph_resolves_annotated_parameters():
+    graph = _graph({
+        "repro/snap.py": ("class Snapshot:\n"
+                          "    def array(self, name):\n        pass\n"),
+        "repro/view.py": (
+            "from repro.snap import Snapshot\n"
+            "def attach(snapshot: 'Snapshot'):\n"
+            "    return snapshot.array('mass')\n"),
+    })
+    assert graph.edges["repro.view.attach"] == {"repro.snap.Snapshot.array"}
+
+
+def test_callgraph_resolves_local_constructor_types():
+    graph = _graph({
+        "repro/a.py": (
+            "class Pool:\n"
+            "    def get(self):\n        pass\n"
+            "def run():\n"
+            "    pool = Pool()\n"
+            "    pool.get()\n"),
+    })
+    assert "repro.a.Pool.get" in graph.edges["repro.a.run"]
+
+
+def test_callgraph_instantiation_edges_to_init():
+    graph = _graph({
+        "repro/a.py": (
+            "class Server:\n"
+            "    def __init__(self):\n        pass\n"
+            "def boot():\n"
+            "    Server()\n"),
+    })
+    assert graph.edges["repro.a.boot"] == {"repro.a.Server.__init__"}
+
+
+def test_callgraph_counts_unresolved_dynamic_dispatch():
+    graph = _graph({
+        "repro/a.py": ("def run(callback):\n"
+                       "    callback.fire()\n"),
+    })
+    assert graph.unresolved.get("repro.a", 0) == 1
+
+
+def test_callgraph_is_conservative_on_rebound_locals():
+    graph = _graph({
+        "repro/a.py": (
+            "class A:\n"
+            "    def hit(self):\n        pass\n"
+            "def run(flag):\n"
+            "    obj = A()\n"
+            "    obj = flag\n"
+            "    obj.hit()\n"),
+    })
+    # No method edge: the receiver was rebound, so its type is unknown
+    # (and A defines no __init__ for the constructor call to land on).
+    assert graph.edges["repro.a.run"] == set()
+
+
+# -- reachability -------------------------------------------------------------
+
+def test_reachable_and_call_path():
+    edges = {"a": ["b"], "b": ["c"], "c": [], "d": ["a"]}
+    parents = reachable(edges, ["a"])
+    assert set(parents) == {"a", "b", "c"}
+    assert call_path(parents, "c") == ["a", "b", "c"]
+
+
+def test_reachable_handles_cycles_and_missing_roots():
+    edges = {"a": ["b"], "b": ["a"]}
+    parents = reachable(edges, ["a", "ghost"])
+    assert set(parents) == {"a", "b", "ghost"}
+
+
+def test_backward_closure():
+    edges = {"a": ["b"], "b": ["c"], "x": ["c"]}
+    assert backward_closure(edges, ["c"]) == {"a", "b", "c", "x"}
+
+
+def test_fixed_point_propagates_facts():
+    edges = {"a": ["b"], "b": ["c"]}
+    facts = fixed_point(
+        ["a", "b", "c"], edges,
+        init=lambda n: frozenset({"seed"}) if n == "a" else frozenset(),
+        transfer=lambda callee, facts: facts)
+    assert facts["c"] == frozenset({"seed"})
+
+
+# -- REP-C601: worker shared-state writes -------------------------------------
+
+def test_c601_fires_on_transitive_module_state_write():
+    findings = lint_project_sources({
+        "repro/serve/server.py": (
+            "CACHE = {}\n"
+            "def _worker_main(tasks):\n"
+            "    helper(tasks)\n"
+            "def helper(x):\n"
+            "    CACHE[x] = 1\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-C601"]
+    assert "via repro.serve.server._worker_main" in findings[0].message
+
+
+def test_c601_fires_on_mutator_call_and_global_rebind():
+    findings = lint_project_sources({
+        "repro/serve/server.py": (
+            "SEEN = []\n"
+            "GEN = {}\n"
+            "def _worker_main(task):\n"
+            "    global GEN\n"
+            "    SEEN.append(task)\n"
+            "    GEN = {}\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-C601", "REP-C601"]
+
+
+def test_c601_silent_on_local_state_and_unreachable_writers():
+    findings = lint_project_sources({
+        "repro/serve/server.py": (
+            "CACHE = {}\n"
+            "def _worker_main(tasks):\n"
+            "    cache = {}\n"
+            "    cache[tasks] = 1\n"
+            "def not_reachable(x):\n"
+            "    CACHE[x] = 1\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+# -- REP-C602: snapshot view mutation -----------------------------------------
+
+def test_c602_fires_on_view_write_and_writeable_flip():
+    findings = lint_project_sources({
+        "repro/serve/views.py": (
+            "def attach(snapshot):\n"
+            "    arr = snapshot.array('mass')\n"
+            "    arr[0] = 1.0\n"
+            "    arr.flags.writeable = True\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-C602", "REP-C602"]
+
+
+def test_c602_fires_on_array_mutator_via_annotation():
+    findings = lint_project_sources({
+        "repro/serve/snapshot.py": ("class IndexSnapshot:\n"
+                                    "    def array(self, name):\n"
+                                    "        pass\n"),
+        "repro/serve/views.py": (
+            "from repro.serve.snapshot import IndexSnapshot\n"
+            "def attach(s: IndexSnapshot):\n"
+            "    view = s.array('mass')\n"
+            "    view.fill(0.0)\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-C602"]
+
+
+def test_c602_silent_on_reads_and_readonly_marking():
+    findings = lint_project_sources({
+        "repro/serve/views.py": (
+            "def attach(snapshot):\n"
+            "    arr = snapshot.array('mass')\n"
+            "    arr.flags.writeable = False\n"
+            "    return arr[0]\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+# -- REP-C603: lock-guard discipline ------------------------------------------
+
+_LOCKED_CLASS = (
+    "import threading\n"
+    "class Ring:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._items = []\n"
+    "    def push(self, item):\n"
+    "        with self._lock:\n"
+    "            self._items.append(item)\n"
+)
+
+
+def test_c603_fires_on_unlocked_access():
+    findings = lint_project_sources({
+        "repro/obs/ring.py": _LOCKED_CLASS + (
+            "    def __len__(self):\n"
+            "        return len(self._items)\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-C603"]
+    assert "Ring._items" in findings[0].message
+
+
+def test_c603_silent_when_access_is_locked_or_in_init():
+    findings = lint_project_sources({
+        "repro/obs/ring.py": _LOCKED_CLASS + (
+            "    def __len__(self):\n"
+            "        with self._lock:\n"
+            "            return len(self._items)\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+def test_c603_ignores_classes_without_locks():
+    findings = lint_project_sources({
+        "repro/obs/plain.py": (
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._items = []\n"
+            "    def push(self, item):\n"
+            "        self._items.append(item)\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+# -- REP-F701/F702: determinism flow ------------------------------------------
+
+def test_f701_fires_on_transitive_wall_clock():
+    findings = lint_project_sources({
+        "repro/core/soi.py": (
+            "import time\n"
+            "class SOIEngine:\n"
+            "    def top_k(self, q):\n"
+            "        return self._score(q)\n"
+            "    def _score(self, q):\n"
+            "        return time.time()\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-F701"]
+    assert "repro.core.soi.SOIEngine.top_k" in findings[0].message
+
+
+def test_f701_fires_on_unseeded_rng():
+    findings = lint_project_sources({
+        "repro/serve/server.py": (
+            "import random\n"
+            "def serve_request(engine, photos, request, describers):\n"
+            "    return random.random()\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-F701"]
+
+
+def test_f701_silent_on_monotonic_timers_and_exempt_modules():
+    findings = lint_project_sources({
+        "repro/core/soi.py": (
+            "import time\n"
+            "from repro.obs.clock import stamp\n"
+            "class SOIEngine:\n"
+            "    def top_k(self, q):\n"
+            "        t = time.perf_counter()\n"
+            "        stamp()\n"
+            "        return t\n"),
+        # obs is flow-exempt: sanctioned telemetry may read the wall clock
+        "repro/obs/clock.py": ("import time\n"
+                               "def stamp():\n"
+                               "    return time.time()\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+def test_f702_fires_on_env_reads_in_hot_path():
+    findings = lint_project_sources({
+        "repro/core/soi.py": (
+            "import os\n"
+            "class SOIEngine:\n"
+            "    def top_k(self, q):\n"
+            "        a = os.getenv('REPRO_MODE')\n"
+            "        b = os.environ['HOME']\n"
+            "        return (a, b)\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-F702", "REP-F702"]
+
+
+def test_f702_silent_off_the_hot_path():
+    findings = lint_project_sources({
+        "repro/core/soi.py": (
+            "import os\n"
+            "def startup_config():\n"
+            "    return os.getenv('REPRO_MODE')\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+# -- REP-R801: SharedMemory lifecycle -----------------------------------------
+
+def test_r801_fires_without_exception_edge_release():
+    findings = lint_project_sources({
+        "repro/serve/snapshot.py": (
+            "from multiprocessing import shared_memory\n"
+            "def export(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name, create=True,"
+            " size=64)\n"
+            "    shm.buf[0] = 1\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-R801"]
+
+
+def test_r801_silent_with_close_on_exception_edge():
+    findings = lint_project_sources({
+        "repro/serve/snapshot.py": (
+            "from multiprocessing import shared_memory\n"
+            "def export(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name, create=True,"
+            " size=64)\n"
+            "    try:\n"
+            "        shm.buf[0] = 1\n"
+            "    except BaseException:\n"
+            "        shm.close()\n"
+            "        shm.unlink()\n"
+            "        raise\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+def test_r801_fires_on_escape_to_class_without_release():
+    findings = lint_project_sources({
+        "repro/serve/snapshot.py": (
+            "from multiprocessing import shared_memory\n"
+            "class Holder:\n"
+            "    def __init__(self, shm):\n"
+            "        self._shm = shm\n"
+            "def attach(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name)\n"
+            "    return Holder(shm)\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-R801"]
+    assert "Holder" in findings[0].message
+
+
+def test_r801_silent_when_owner_class_can_release():
+    findings = lint_project_sources({
+        "repro/serve/snapshot.py": (
+            "from multiprocessing import shared_memory\n"
+            "class Holder:\n"
+            "    def __init__(self, shm):\n"
+            "        self._shm = shm\n"
+            "    def close(self):\n"
+            "        self._shm.close()\n"
+            "def attach(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name)\n"
+            "    return Holder(shm)\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+def test_r801_silent_when_handle_is_returned_raw():
+    findings = lint_project_sources({
+        "repro/serve/snapshot.py": (
+            "from multiprocessing import shared_memory\n"
+            "def attach(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name)\n"
+            "    return shm\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+# -- REP-R802: unclosed handles -----------------------------------------------
+
+def test_r802_fires_on_unmanaged_open():
+    findings = lint_project_sources({
+        "benchmarks/out.py": (
+            "def dump(path, rows):\n"
+            "    f = open(path, 'w')\n"
+            "    f.write(str(rows))\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-R802"]
+
+
+def test_r802_fires_on_open_without_binding():
+    findings = lint_project_sources({
+        "benchmarks/out.py": ("def slurp(path):\n"
+                              "    return open(path).read()\n"),
+    }, config=CONFIG)
+    assert rules_of(findings) == ["REP-R802"]
+
+
+def test_r802_silent_with_with_or_close():
+    findings = lint_project_sources({
+        "benchmarks/out.py": (
+            "def dump(path, rows):\n"
+            "    with open(path, 'w') as f:\n"
+            "        f.write(str(rows))\n"
+            "def dump2(path, rows):\n"
+            "    f = open(path, 'w')\n"
+            "    try:\n"
+            "        f.write(str(rows))\n"
+            "    finally:\n"
+            "        f.close()\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+# -- suppressions over project findings ---------------------------------------
+
+def test_project_findings_honour_inline_suppressions():
+    findings = lint_project_sources({
+        "repro/obs/ring.py": _LOCKED_CLASS + (
+            "    def __len__(self):\n"
+            "        return len(self._items)"
+            "  # repro-lint: disable=REP-C603 (benchmarked lock-free read)\n"),
+    }, config=CONFIG)
+    assert findings == []
+
+
+def test_project_findings_carry_fingerprints():
+    findings = lint_project_sources({
+        "repro/obs/ring.py": _LOCKED_CLASS + (
+            "    def __len__(self):\n"
+            "        return len(self._items)\n"),
+    }, config=CONFIG)
+    assert findings and all(f.fingerprint for f in findings)

@@ -42,6 +42,18 @@ def test_repo_is_lint_clean():
     assert result.files_checked > 50
 
 
+def test_full_tree_is_lint_clean_with_cross_module_pass():
+    """src + tests + benchmarks, interprocedural rules on — zero findings."""
+    result = lint_paths(
+        [SRC, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        config=CONFIG, cross_module=True)
+    details = "\n".join(f.format_text() for f in result.findings)
+    assert result.clean, f"lint findings in full tree:\n{details}"
+    # Zero C6/F7/R8 findings may be absorbed by the baseline either.
+    assert result.baselined == 0
+    assert result.files_checked > 100
+
+
 def test_committed_baseline_is_empty():
     baseline = load_baseline(CONFIG.baseline_path())
     assert sum(baseline.values()) == 0
@@ -508,7 +520,9 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ("REP-D101", "REP-D102", "REP-D103", "REP-N201",
                     "REP-N202", "REP-N203", "REP-H301", "REP-H302",
-                    "REP-H303", "REP-H304"):
+                    "REP-H303", "REP-H304",
+                    "REP-C601", "REP-C602", "REP-C603",
+                    "REP-F701", "REP-F702", "REP-R801", "REP-R802"):
         assert rule_id in out
 
 
@@ -516,3 +530,145 @@ def test_module_entry_point():
     from repro.analysis.cli import main as analysis_main
 
     assert analysis_main([str(SRC)]) == 0
+
+
+# -- reporter golden output ----------------------------------------------------
+
+def test_render_text_golden():
+    findings = lint_source("def f(a, b):\n    return a / b\n",
+                           relpath="repro/core/x.py", config=CONFIG)
+    result = LintResult(findings=findings, files_checked=3, baselined=2)
+    text = render_text(result, show_hints=False)
+    assert text.splitlines() == [
+        "repro/core/x.py:2:12: REP-N202 [error] division by 'b' has no "
+        "visible zero-guard in the enclosing scope",
+        "1 finding (3 files checked, 2 baselined)",
+    ]
+
+
+def test_render_text_clean_golden():
+    text = render_text(LintResult(files_checked=7), show_hints=True)
+    assert text == "0 findings (7 files checked)"
+
+
+def test_render_json_golden():
+    findings = lint_source("def f(a, b):\n    return a / b\n",
+                           relpath="repro/core/x.py", config=CONFIG)
+    payload = json.loads(render_json(LintResult(findings=findings,
+                                                files_checked=1)))
+    assert set(payload) == {"findings", "summary"}
+    (entry,) = payload["findings"]
+    assert entry["rule"] == "REP-N202"
+    assert entry["path"] == "repro/core/x.py"
+    assert entry["line"] == 2 and entry["col"] == 12
+    assert entry["severity"] == "error"
+    assert entry["fingerprint"] and len(entry["fingerprint"]) == 16
+    assert payload["summary"] == {
+        "count": 1, "files_checked": 1, "baselined": 0, "clean": False}
+
+
+# -- baseline edge cases -------------------------------------------------------
+
+def test_empty_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [])
+    baseline = load_baseline(path)
+    assert sum(baseline.values()) == 0
+    findings = lint_source("def f(a, b):\n    return a / b\n",
+                           relpath="repro/core/x.py", config=CONFIG)
+    kept, matched = apply_baseline(findings, baseline)
+    assert len(kept) == 1 and matched == 0
+
+
+def test_stale_fingerprint_no_longer_matches(tmp_path):
+    src = "def f(a, b):\n    return a / b\n"
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    # The offending line changed: same rule+path, new fingerprint.
+    edited = lint_source("def f(a, bb):\n    return a / bb\n",
+                         relpath="repro/core/x.py", config=CONFIG)
+    kept, matched = apply_baseline(edited, load_baseline(path))
+    assert len(kept) == 1 and matched == 0
+
+
+def test_unknown_baseline_schema_rejected(tmp_path):
+    from repro.analysis.baseline import BaselineFormatError
+
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}),
+                    encoding="utf-8")
+    with pytest.raises(BaselineFormatError, match="unknown schema"):
+        load_baseline(path)
+    path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    with pytest.raises(BaselineFormatError, match="not a JSON object"):
+        load_baseline(path)
+
+
+def test_cli_rejects_unknown_baseline_schema(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(a, b):\n    return a / b\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"version": 99, "findings": []}),
+                        encoding="utf-8")
+    assert repro.cli.main(["lint", str(bad),
+                           "--baseline", str(baseline)]) == 2
+    assert "unknown schema" in capsys.readouterr().err
+
+
+# -- cross-module CLI: --changed / --graph / --no-cross-module ----------------
+
+def test_cli_changed_scopes_reporting_to_git_diff(tmp_path, capsys):
+    import subprocess
+
+    root = tmp_path / "proj"
+    (root / "repro" / "core").mkdir(parents=True)
+    (root / "pyproject.toml").write_text("[tool.repro.lint]\n",
+                                         encoding="utf-8")
+    clean = root / "repro" / "core" / "clean.py"
+    clean.write_text("def g(a, b):\n    return a / b\n", encoding="utf-8")
+    subprocess.run(["git", "init", "-q"], cwd=root, check=True)
+    subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                    "add", "-A"], cwd=root, check=True)
+    subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                    "commit", "-q", "-m", "init"], cwd=root, check=True)
+    # A second offending file, not yet committed: only it is reported.
+    touched = root / "repro" / "core" / "touched.py"
+    touched.write_text("def h(a, b):\n    return a / b\n", encoding="utf-8")
+    assert repro.cli.main(["lint", str(root / "repro"),
+                           "--changed", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["count"] == 1
+    assert payload["findings"][0]["path"].endswith("touched.py")
+
+
+def test_cli_changed_without_git_repo_exits_two(tmp_path, capsys):
+    target = tmp_path / "repro" / "core"
+    target.mkdir(parents=True)
+    (target / "x.py").write_text("X = 1\n", encoding="utf-8")
+    assert repro.cli.main(["lint", str(target), "--changed"]) == 2
+    assert "--changed needs a git work tree" in capsys.readouterr().err
+
+
+def test_cli_graph_dump(capsys):
+    assert repro.cli.main(["lint", str(SRC), "--graph"]) == 0
+    out = capsys.readouterr().out
+    assert "functions:" in out and "edges:" in out
+    assert "entrypoint reachability:" in out
+    assert "repro.serve.server.serve_request" in out
+    assert "MISSING" not in out
+
+
+def test_cli_no_cross_module_skips_project_rules(tmp_path, capsys):
+    bad = tmp_path / "repro" / "serve" / "server.py"
+    bad.parent.mkdir(parents=True)
+    # Non-empty literal: stays below REP-P403's radar so only the
+    # cross-module rule distinguishes the two runs.
+    bad.write_text("CACHE = {'seed': 1}\n"
+                   "def _worker_main(task):\n"
+                   "    CACHE[task] = 1\n", encoding="utf-8")
+    assert repro.cli.main(["lint", str(bad.parent)]) == 1
+    assert "REP-C601" in capsys.readouterr().out
+    assert repro.cli.main(["lint", str(bad.parent),
+                           "--no-cross-module"]) == 0
