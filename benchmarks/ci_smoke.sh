@@ -19,13 +19,18 @@ export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT INT TERM
 
-# Full-tree lint: file-local rules on src/repro plus the cross-module
-# REP-C6xx/F7xx/R8xx pass over tests/ and benchmarks/ too (resource-safety
-# rules cover bench output handles there).
+# Full-tree lint: file-local rules on src/repro (including the REP-P4xx
+# perf family — P404 guards against heapq.nlargest rescans creeping back
+# into core/ loops) plus the cross-module REP-C6xx/F7xx/R8xx pass over
+# tests/ and benchmarks/ too (resource-safety rules cover bench output
+# handles there).
 python -m repro lint src/repro tests benchmarks
 python -m pytest -x -q
 python -m repro bench --mode soi --repeats 1 \
     --check-against BENCH_soi.json --tolerance 0.35 \
+    --out "$SCRATCH"
+python -m repro bench --mode describe --repeats 1 \
+    --check-against BENCH_describe.json --tolerance 0.35 \
     --out "$SCRATCH"
 
 echo "ci_smoke: OK"

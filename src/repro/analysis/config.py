@@ -48,7 +48,7 @@ class LintConfig:
     # Packages whose timing/telemetry must flow through repro.obs
     # (REP-O501/O502); repro.obs itself is exempt by construction.
     obs_checked_dirs: tuple[str, ...] = ("core", "serve")
-    assume_positive: tuple[str, ...] = ("buffer_area", "max_d")
+    assume_positive: tuple[str, ...] = ("buffer_area", "buffer_col", "max_d")
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})
     disabled_rules: tuple[str, ...] = ()

@@ -209,6 +209,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         HandRolledCounterRule,
     )
     from repro.analysis.rules.perf import (
+        HeapRescanInLoopRule,
         ListMembershipInLoopRule,
         ModuleLevelMutableCacheRule,
         SortedInLoopRule,
@@ -227,6 +228,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         DeprecatedNameRule(),
         SortedInLoopRule(),
         ListMembershipInLoopRule(),
+        HeapRescanInLoopRule(),
         ModuleLevelMutableCacheRule(),
         DirectTimerRule(),
         HandRolledCounterRule(),

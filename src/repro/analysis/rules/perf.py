@@ -19,7 +19,13 @@ Both loop rules stop at function boundaries when climbing out of the
 loop: a function *defined* in a loop body executes on call, not per
 iteration.
 
-A third rule guards the multiprocess serving path
+* **REP-P404** — ``heapq.nlargest``/``heapq.nsmallest`` inside a loop
+  body rescans its whole input per iteration (O(n log k) each time);
+  maintain a bounded heap incrementally instead (see
+  :class:`repro.core.state_store.TopKThreshold`, which replaced exactly
+  this pattern in the filter phase's LB_k computation).
+
+A further rule guards the multiprocess serving path
 (``serve-checked-dirs``, defaulting to the import closure of
 ``repro.serve.server`` workers):
 
@@ -152,6 +158,34 @@ class ListMembershipInLoopRule(Rule):
                     f"every iteration (loop at line {loop.lineno})")
 
 
+_HEAP_RESCAN_CALLS = frozenset({"heapq.nlargest", "heapq.nsmallest"})
+
+
+class HeapRescanInLoopRule(Rule):
+    id = "REP-P404"
+    name = "heap-rescan-in-loop"
+    hint = ("maintain a bounded min-heap incrementally (heapq.heappush / "
+            "heappushpop, or repro.core.state_store.TopKThreshold) "
+            "instead of rescanning the full input per iteration")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(ctx.config.perf_checked_dirs):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.canonical_call_name(node.func)
+            if dotted not in _HEAP_RESCAN_CALLS:
+                continue
+            loop = _enclosing_loop_body(ctx, node)
+            if loop is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{dotted}() inside a loop body rescans its whole "
+                    f"input on every iteration (loop at line "
+                    f"{loop.lineno})")
+
+
 _EMPTY_MUTABLE_CALLS = frozenset({
     "dict", "list", "set",
     "collections.OrderedDict", "collections.Counter", "collections.deque",
@@ -225,5 +259,5 @@ class ModuleLevelMutableCacheRule(Rule):
                     "with its own diverging copy")
 
 
-__all__ = ["ListMembershipInLoopRule", "ModuleLevelMutableCacheRule",
-           "SortedInLoopRule"]
+__all__ = ["HeapRescanInLoopRule", "ListMembershipInLoopRule",
+           "ModuleLevelMutableCacheRule", "SortedInLoopRule"]

@@ -159,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "throughput (default 64)")
     bench.add_argument("--seed", type=int, default=0,
                        help="workload RNG seed for --mode throughput")
+    bench.add_argument("--batch", type=int, default=1, metavar="B",
+                       help="throughput mode: per-worker micro-batch "
+                            "size — each worker drains up to B queued "
+                            "requests per loop turn and serves "
+                            "same-signature runs against one shared "
+                            "session (default 1: no batching)")
+    bench.add_argument("--history", type=Path, default=None,
+                       metavar="FILE",
+                       help="append a one-line JSON summary (suite, "
+                            "medians/QPS, counters, environment) per "
+                            "produced report to this .jsonl log")
     bench.add_argument("--verify", action="store_true",
                        help="throughput mode: also replay the workload "
                             "in-process and fail unless worker payloads "
@@ -356,7 +367,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run = bench.bench_throughput(
             cities, workers=args.workers, concurrency=args.concurrency,
             queries=args.queries, seed=args.seed, scale=args.scale,
-            jobs=args.jobs, verify=args.verify)
+            jobs=args.jobs, verify=args.verify, micro_batch=args.batch)
         path = args.out / bench.SERVE_REPORT
         bench.append_serve_run(run, path)
         produced["serve"] = run
@@ -387,6 +398,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             written.append(path)
     for path in written:
         print(f"wrote {path}")
+    if args.history is not None:
+        for report in produced.values():
+            bench.append_history(report, args.history)
+        print(f"appended {len(produced)} record(s) to {args.history}")
     if args.check_against is not None:
         return _check_against_baseline(args, produced)
     return 0

@@ -18,7 +18,7 @@ truth in tests.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -300,6 +300,116 @@ def _segment_mass_batched_impl(
     if stats is not None:
         stats.mass_cache_hits += cached_hits
         if mass_cache is not None:
+            stats.mass_cache_misses += fresh
+    # Accumulate in cell order, matching the per-cell evaluation exactly.
+    total = 0.0
+    for value in contributions:
+        total += value
+    return total
+
+
+def segment_mass_batched_slots(
+    segment: Segment,
+    cells: Sequence[tuple[int, int]],
+    slots: Sequence[int],
+    slot_mass: list[float],
+    slot_known: list[bool],
+    cache: RelevantCellCache,
+    eps: float,
+    weighted: bool = False,
+    stats=None,
+    count_memo: bool = True,
+) -> float:
+    """Like :func:`segment_mass_batched`, memoised into slot columns.
+
+    ``slots[i]`` is the store-layout slot of ``(segment, cells[i])``;
+    ``slot_mass``/``slot_known`` are the
+    :class:`~repro.core.state_store.MassSlots` columns standing in for the
+    dict memo.  Evaluation order, the scalar/kernel split and the final
+    in-order accumulation mirror the dict-memo implementation exactly, so
+    the total — and every memoised value — is bit-identical.
+    ``count_memo=False`` reproduces the ``mass_cache=None`` counter
+    behaviour (ephemeral per-run slots, misses not attributed).
+    """
+    if obs_tracer.ENABLED:
+        with trace_span("soi.mass_kernel"):
+            return _segment_mass_batched_slots_impl(
+                segment, cells, slots, slot_mass, slot_known, cache, eps,
+                weighted, stats, count_memo)
+    return _segment_mass_batched_slots_impl(
+        segment, cells, slots, slot_mass, slot_known, cache, eps,
+        weighted, stats, count_memo)
+
+
+def _segment_mass_batched_slots_impl(
+    segment: Segment,
+    cells: Sequence[tuple[int, int]],
+    slots: Sequence[int],
+    slot_mass: list[float],
+    slot_known: list[bool],
+    cache: RelevantCellCache,
+    eps: float,
+    weighted: bool,
+    stats=None,
+    count_memo: bool = True,
+) -> float:
+    contributions: list[float] = []
+    # (contribution slot, memo slot, batch start, batch stop) per batched cell.
+    pending: list[tuple[int, int, int, int]] = []
+    batch_xs: list[np.ndarray] = []
+    batch_ys: list[np.ndarray] = []
+    batch_weights: list[np.ndarray] = []
+    offset = 0
+    cached_hits = 0
+    fresh = 0
+    for cell, slot in zip(cells, slots):
+        if slot_known[slot]:
+            cached_hits += 1
+            contributions.append(float(slot_mass[slot]))
+            continue
+        positions, xs, ys, weights = cache.get(cell)
+        n = len(positions)
+        if n > _SCALAR_CELL_MAX:
+            pending.append((len(contributions), slot, offset, offset + n))
+            batch_xs.append(xs)
+            batch_ys.append(ys)
+            batch_weights.append(weights)
+            offset += n
+            contributions.append(0.0)  # patched after the kernel call
+            fresh += 1
+            continue
+        if n == 0:
+            value = 0.0
+        else:
+            if stats is not None:
+                stats.scalar_point_evals += n
+            value = _cell_mass_scalar(xs, ys, weights, segment, eps, weighted)
+        contributions.append(value)
+        fresh += 1
+        slot_mass[slot] = value
+        slot_known[slot] = True
+    if pending:
+        if stats is not None:
+            stats.kernel_calls += 1
+        xs_all = np.concatenate(batch_xs)
+        ys_all = np.concatenate(batch_ys)
+        dists = points_segment_distance(xs_all, ys_all,
+                                        segment.ax, segment.ay,
+                                        segment.bx, segment.by)
+        within = dists <= eps
+        weights_all = np.concatenate(batch_weights) if weighted else None
+        for pos, slot, start, stop in pending:
+            if weighted:
+                value = float(weights_all[start:stop]
+                              [within[start:stop]].sum())
+            else:
+                value = float(np.count_nonzero(within[start:stop]))
+            contributions[pos] = value
+            slot_mass[slot] = value
+            slot_known[slot] = True
+    if stats is not None:
+        stats.mass_cache_hits += cached_hits
+        if count_memo:
             stats.mass_cache_misses += fresh
     # Accumulate in cell order, matching the per-cell evaluation exactly.
     total = 0.0

@@ -56,7 +56,12 @@ class SOIStats:
     the ``*_cache_*`` counters record :class:`RelevantCellCache` and
     per-``(segment, cell)`` mass-cache traffic.  ``session_reused`` is
     true when the run was served from a warm
-    :class:`~repro.perf.session.QuerySession`.
+    :class:`~repro.perf.session.QuerySession`; ``store_reused`` when the
+    run recycled a session-pooled
+    :class:`~repro.core.state_store.SegmentStateStore` instead of
+    allocating fresh columns.  ``termination_checks`` counts LBk >= UB
+    evaluations and ``lbk_heap_updates`` improvements pushed into the
+    incremental top-k threshold heap.
     """
 
     cells_popped: int = 0
@@ -67,6 +72,8 @@ class SOIStats:
     refinement_finalized: int = 0
     refinement_pruned: int = 0
     iterations: int = 0
+    termination_checks: int = 0
+    lbk_heap_updates: int = 0
     kernel_calls: int = 0
     refine_kernel_calls: int = 0
     scalar_point_evals: int = 0
@@ -75,6 +82,7 @@ class SOIStats:
     mass_cache_hits: int = 0
     mass_cache_misses: int = 0
     session_reused: bool = False
+    store_reused: bool = False
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -92,6 +100,8 @@ class SOIStats:
             "refinement_finalized": self.refinement_finalized,
             "refinement_pruned": self.refinement_pruned,
             "iterations": self.iterations,
+            "termination_checks": self.termination_checks,
+            "lbk_heap_updates": self.lbk_heap_updates,
             "kernel_calls": self.kernel_calls,
             "refine_kernel_calls": self.refine_kernel_calls,
             "scalar_point_evals": self.scalar_point_evals,
@@ -100,4 +110,5 @@ class SOIStats:
             "mass_cache_hits": self.mass_cache_hits,
             "mass_cache_misses": self.mass_cache_misses,
             "session_reused": int(self.session_reused),
+            "store_reused": int(self.store_reused),
         }

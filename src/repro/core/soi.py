@@ -22,7 +22,6 @@ Correctness notes (also summarised in DESIGN.md):
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
@@ -34,14 +33,23 @@ from repro.obs.slowlog import SLOWLOG
 from repro.obs.tracer import perf_now, trace_span
 from repro.core.interest import (
     RelevantCellCache,
+    _segment_mass_in_cell_uncached,
     buffer_area,
     segment_interest,
     segment_mass_batched,
+    segment_mass_batched_slots,
     segment_mass_in_cell,
     validate_query,
 )
 from repro.core.results import SOIResult, SOIStats
 from repro.core.source_lists import CellSourceList, SegmentSourceList
+from repro.core.state_store import (
+    MassSlots,
+    SegmentStateStore,
+    SignatureBindings,
+    StoreLayout,
+    TopKThreshold,
+)
 from repro.data.poi import POISet
 from repro.geometry.bbox import BBox
 from repro.index.cell_maps import SegmentCellMaps
@@ -80,10 +88,16 @@ class AccessStrategy(Enum):
 
 @dataclass(slots=True)
 class _SegmentState:
-    """Book-keeping for a *seen* segment (the paper's partial/final states)."""
+    """Book-keeping for a *seen* segment (the paper's partial/final states).
+
+    ``to_visit`` is a dict used as an *ordered* set: iteration follows the
+    canonical ``cells_of_segment`` order, which keeps the scalar path's
+    float accumulation order identical to the store path's CSR order (and
+    hence the sums bit-identical).
+    """
 
     segment: Segment
-    to_visit: set[CellCoord]
+    to_visit: dict[CellCoord, None]
     buffer_area: float = 0.0
     mass: float = 0.0
     final: bool = False
@@ -167,6 +181,7 @@ class SOIEngine:
                               else 0.0)
         engine._sl3_entries = sl3_entries
         engine._sl2_cache = {}
+        engine._store_layouts = {}
         engine.sessions = QuerySessionPool(
             poi_index,
             maxsize=(DEFAULT_MAX_SESSIONS if session_pool_size is None
@@ -201,6 +216,7 @@ class SOIEngine:
                 key=lambda e: (e[1], e[0])))
         self._sl2_cache: dict[float, tuple[tuple[tuple[int, float], ...],
                                            float]] = {}
+        self._store_layouts: dict[float, StoreLayout] = {}
 
     def rebuild_indexes(
         self,
@@ -251,6 +267,19 @@ class SOIEngine:
             self._sl2_cache[eps] = cached
         return cached
 
+    def store_layout(self, eps: float) -> StoreLayout:
+        """The dense/CSR :class:`StoreLayout` for one ``eps`` (cached).
+
+        Query-independent like the SL2/SL3 orders; rebuilt lazily after
+        :meth:`rebuild_indexes` (which resets the cache).
+        """
+        layout = self._store_layouts.get(eps)
+        if layout is None:
+            with trace_span("index.store_layout", eps=eps):
+                layout = StoreLayout(self.network, self.cell_maps, eps)
+            self._store_layouts[eps] = layout
+        return layout
+
     # -- public API ---------------------------------------------------------
 
     def top_k(
@@ -262,6 +291,8 @@ class SOIEngine:
         prune_refinement: bool = True,
         weighted: bool = False,
         use_session: bool = True,
+        use_store: bool = True,
+        session=None,
     ) -> list[SOIResult]:
         """Answer a k-SOI query (Problem 1).
 
@@ -274,12 +305,20 @@ class SOIEngine:
         engine's :class:`~repro.perf.session.QuerySessionPool`, so sweeps
         over ``k``/``eps``/strategy with the same keywords reuse per-cell
         materialisations; cached values are bitwise what a fresh run would
-        compute, so results are identical either way.
+        compute, so results are identical either way.  A caller that
+        already resolved the session (batched serving) may pass it via
+        ``session`` — it must belong to this engine and to the same
+        normalised keyword set.
+
+        ``use_store=True`` (the default) drives the filter phase through
+        the array-native :class:`~repro.core.state_store.SegmentStateStore`
+        columns; ``use_store=False`` keeps the per-object scalar path (the
+        ablation/bit-identity reference).  Both return identical results.
         """
         results, _stats = self.top_k_with_stats(
             keywords, k, eps, strategy=strategy,
             prune_refinement=prune_refinement, weighted=weighted,
-            use_session=use_session)
+            use_session=use_session, use_store=use_store, session=session)
         return results
 
     def top_k_with_stats(
@@ -291,12 +330,16 @@ class SOIEngine:
         prune_refinement: bool = True,
         weighted: bool = False,
         use_session: bool = True,
+        use_store: bool = True,
+        session=None,
     ) -> tuple[list[SOIResult], SOIStats]:
         """Like :meth:`top_k` but also returns work/timing counters."""
         query = validate_query(keywords, k, eps)
-        session = self.sessions.get(query) if use_session else None
+        if session is None and use_session:
+            session = self.sessions.get(query)
         run = _SOIRun(self, query, k, eps,
-                      strategy, prune_refinement, weighted, session=session)
+                      strategy, prune_refinement, weighted, session=session,
+                      use_store=use_store)
         return run.execute()
 
     def segment_exact_interest(
@@ -334,6 +377,7 @@ class _SOIRun:
         prune_refinement: bool,
         weighted: bool,
         session=None,
+        use_store: bool = False,
     ) -> None:
         self.engine = engine
         self.query = query
@@ -344,18 +388,28 @@ class _SOIRun:
         self.weighted = weighted
         self.stats = SOIStats()
         self.session = session
+        self.use_store = use_store
         if session is not None:
             # Cross-query reuse: the session owns the relevant-cell cache
             # and the (segment, cell) mass memo for this (eps, weighted).
             self.cache = session.cache
-            self._mass_cache = session.mass_cache(eps, weighted)
+            self._mass_cache = (None if use_store
+                                else session.mass_cache(eps, weighted))
             self.stats.session_reused = session.queries_served > 0
             session.queries_served += 1
         else:
             self.cache = RelevantCellCache(engine.poi_index, query)
             self._mass_cache = None
         self._states: dict[int, _SegmentState] = {}
-        self._street_best_lb: dict[int, float] = {}
+        # Store-path state (bound by _store_setup when use_store is on).
+        self.store: SegmentStateStore | None = None
+        self._layout: StoreLayout | None = None
+        self._bind: SignatureBindings | None = None
+        self._mass_slots: MassSlots | None = None
+        # Whether memoised masses outlive this run (session-owned slots);
+        # mirrors the mass_cache-is-None counter behaviour of the dict memo.
+        self._count_memo = session is not None
+        self._lbk_topk = TopKThreshold(k)
         self._lbk_dirty = True
         self._lbk = 0.0
         # Weighted queries bound per-cell relevant mass by count * max weight.
@@ -381,8 +435,13 @@ class _SOIRun:
             t2 = perf_now()
             kernels_before_refine = self.stats.kernel_calls
             with trace_span("soi.refine"):
-                results = self._refine()
+                results = (self._refine_store() if self.use_store
+                           else self._refine())
             t3 = perf_now()
+        if self.store is not None and self.session is not None:
+            # Recycle the scratch columns; on an exception the store is
+            # simply dropped, so a poisoned run can never be reused.
+            self.session.release_state_store(self.store)
         self.stats.refine_kernel_calls = (
             self.stats.kernel_calls - kernels_before_refine)
         self.stats.relevant_cache_hits = self.cache.hits - hits0
@@ -410,9 +469,12 @@ class _SOIRun:
         # no relevant POI, so visiting them contributes nothing to mass.
         if self.session is not None:
             # Keyword-only aggregate: computed once per signature, shared
-            # by every (k, eps, strategy) configuration of the sweep.
+            # by every (k, eps, strategy) configuration of the sweep.  The
+            # SL1 order is likewise signature-only, so the session serves
+            # it presorted and warm queries skip the re-sort.
             self._cell_ub = self.session.cell_upper_bounds()
-            sl1_entries = list(self._cell_ub.items())
+            self.sl1 = CellSourceList(self.session.sl1_entries(),
+                                      presorted=True)
         else:
             poi_index = self.engine.poi_index
             self._cell_ub: dict[CellCoord, int] = {}
@@ -422,7 +484,7 @@ class _SOIRun:
                 if ub > 0:
                     self._cell_ub[cell] = ub
                     sl1_entries.append((cell, ub))
-        self.sl1 = CellSourceList(sl1_entries)
+            self.sl1 = CellSourceList(sl1_entries)
 
         # Threshold for the paper's adaptive SL2 access: "we only access
         # segments via the second source SL2 in the case that a few
@@ -431,8 +493,13 @@ class _SOIRun:
         # it keeps top(SL2) — and hence UB — inflated, so it is retrieved
         # directly instead of waiting for a cell access to reach it.
         sl2_entries, self._sl2_threshold = self.engine._sl2_entries(self.eps)
-        is_final = self._is_final
-        is_seen = self._is_seen
+        if self.use_store:
+            self._store_setup()
+            is_final = self._store_is_final
+            is_seen = self._store_is_seen
+        else:
+            is_final = self._is_final
+            is_seen = self._is_seen
         self.sl2 = SegmentSourceList(
             sl2_entries, descending=True,
             is_final=is_final, is_seen=is_seen, presorted=True)
@@ -447,6 +514,34 @@ class _SOIRun:
     def _is_final(self, segment_id: int) -> bool:
         state = self._states.get(segment_id)
         return state is not None and state.final
+
+    def _store_setup(self) -> None:
+        """Bind the layout, signature bindings, mass slots and scratch.
+
+        With a session every piece is pooled: the bindings and slot memo
+        are computed once per signature and the scratch store is recycled
+        run-to-run, so a warm query allocates no columns at all.
+        """
+        layout = self.engine.store_layout(self.eps)
+        self._layout = layout
+        session = self.session
+        if session is not None:
+            self._bind = session.store_bindings(layout)
+            self._mass_slots = session.store_mass_slots(layout, self.weighted)
+            store, reused = session.acquire_state_store(layout)
+            self.stats.store_reused = reused
+        else:
+            self._bind = SignatureBindings(layout, self._cell_ub)
+            self._mass_slots = MassSlots(layout.num_slots)
+            store = SegmentStateStore(layout)
+        store.begin_run()
+        self.store = store
+
+    def _store_is_seen(self, segment_id: int) -> bool:
+        return segment_id in self.store.seen_ids
+
+    def _store_is_final(self, segment_id: int) -> bool:
+        return segment_id in self.store.final_ids
 
     # -- phase 2: filtering --------------------------------------------------
 
@@ -468,13 +563,20 @@ class _SOIRun:
         # Tracing likewise binds once: the untraced access method when off,
         # so the disabled path pays nothing per access.
         tracing = obs_tracer.ENABLED
-        access = self._access_traced if tracing else self._access
+        plain_access = self._access_store if self.use_store else self._access
+        if tracing:
+            def access(name: str, _plain=plain_access) -> bool:
+                with trace_span("soi.pull", source=name):
+                    return _plain(name)
+        else:
+            access = plain_access
         alternate = (self.strategy is AccessStrategy.ALTERNATE
                      and self._sl2_threshold > 0)
         sl2_top = self.sl2.top
         sl2_threshold = self._sl2_threshold
         while True:
             if stats.iterations % check_every == 0:
+                stats.termination_checks += 1
                 if tracing:
                     with trace_span("soi.termination_check"):
                         lbk = self._compute_lbk()
@@ -508,12 +610,6 @@ class _SOIRun:
                 break
             stats.iterations += 1
 
-    def _access_traced(self, name: str) -> bool:
-        """Traced variant of :meth:`_access` (bound by ``_filter`` when
-        tracing is on, so the hot path has no per-access switch check)."""
-        with trace_span("soi.pull", source=name):
-            return self._access(name)
-
     def _access(self, name: str) -> bool:
         """Perform one access on the named list; False when exhausted."""
         if name == "SL1":
@@ -542,7 +638,7 @@ class _SOIRun:
             segment = self.engine.network.segment(segment_id)
             cells = self.engine.cell_maps.cells_of_segment(segment_id, self.eps)
             state = _SegmentState(
-                segment=segment, to_visit=set(cells),
+                segment=segment, to_visit=dict.fromkeys(cells),
                 buffer_area=buffer_area(segment.length, self.eps))
             self._states[segment_id] = state
             self.stats.segments_seen += 1
@@ -557,7 +653,7 @@ class _SOIRun:
         to_visit = state.to_visit
         if cell not in to_visit:
             return
-        to_visit.remove(cell)
+        del to_visit[cell]
         stats = self.stats
         stats.cell_visits += 1
         if cell in self._cell_ub:
@@ -615,9 +711,8 @@ class _SOIRun:
             contracts.check_definition2(
                 state.mass, state.segment.length, self.eps)
         value = state.mass / state.buffer_area
-        street_id = state.segment.street_id
-        if value > self._street_best_lb.get(street_id, 0.0):
-            self._street_best_lb[street_id] = value
+        if self._lbk_topk.update(state.segment.street_id, value):
+            self.stats.lbk_heap_updates += 1
             self._lbk_dirty = True
 
     def _compute_lbk(self) -> float:
@@ -625,13 +720,14 @@ class _SOIRun:
 
         Using a slightly stale (hence smaller) LBk in the termination test
         is conservative — it can only delay termination, never cause a
-        wrong result — so the k-th-largest scan is throttled.
+        wrong result — so even the O(log k) threshold read is throttled,
+        preserving the exact refresh cadence of the old full rescan.
         """
         if not self._lbk_dirty or self.stats.iterations % 8 != 0:
             return self._lbk
-        if len(self._street_best_lb) >= self.k:
-            self._lbk = heapq.nlargest(
-                self.k, self._street_best_lb.values())[-1]
+        current = self._lbk_topk.current()
+        if current is not None:
+            self._lbk = current
         self._lbk_dirty = False
         return self._lbk
 
@@ -647,8 +743,11 @@ class _SOIRun:
     # -- phase 3: refinement -------------------------------------------------
 
     def _refine(self) -> list[SOIResult]:
-        # street_id -> (exact interest, best segment id)
+        # street_id -> (exact interest, best segment id).  The incremental
+        # threshold tracks the k-th best exact value so the pruning test
+        # needs no nlargest rescan per candidate.
         exact: dict[int, tuple[float, int]] = {}
+        exact_topk = TopKThreshold(self.k)
 
         def record_exact(state: _SegmentState) -> None:
             if contracts.ENABLED:
@@ -659,6 +758,7 @@ class _SOIRun:
             best = exact.get(street_id)
             if best is None or value > best[0]:
                 exact[street_id] = (value, state.segment.id)
+                exact_topk.update(street_id, value)
 
         partial: list[tuple[float, int, _SegmentState]] = []
         for state in self._states.values():
@@ -680,10 +780,9 @@ class _SOIRun:
 
         partial.sort(key=lambda item: (-item[0], item[1]))
         for index, (optimistic, _sid, state) in enumerate(partial):
-            if self.prune_refinement and len(exact) >= self.k:
-                kth = heapq.nlargest(
-                    self.k, (value for value, _seg in exact.values()))[-1]
-                if optimistic < kth:
+            if self.prune_refinement:
+                kth = exact_topk.current()
+                if kth is not None and optimistic < kth:
                     self.stats.refinement_pruned += len(partial) - index
                     break
             self._finalize_exact(state)
@@ -713,3 +812,289 @@ class _SOIRun:
                 stats=self.stats, mass_cache=self._mass_cache)
         state.to_visit.clear()
         state.final = True
+
+    # -- phases 2 and 3, array-native store path -----------------------------
+    #
+    # Column-for-attribute mirror of _access/_update_interest/_finalize/
+    # _refine: every float operation is applied to the same operands in
+    # the same order as the scalar path (see state_store module docs), so
+    # results, bounds and work counters are identical — only the per-pop
+    # bookkeeping is vectorised.
+
+    def _access_store(self, name: str) -> bool:
+        """Store-path access on the named list; False when exhausted."""
+        if name == "SL1":
+            cell = self.sl1.pop()
+            if cell is None:
+                return False
+            self.stats.cells_popped += 1
+            self._store_visit_cell(cell)
+            return True
+        source: SegmentSourceList = self._lists[name]
+        segment_id = source.pop()
+        if segment_id is None:
+            return False
+        self.stats.segments_popped += 1
+        self._store_finalize(self._layout.dense_index[segment_id])
+        return True
+
+    def _store_visit_cell(self, cell: CellCoord) -> None:
+        """UpdateInterest over every segment of a popped cell (store path).
+
+        Identical operation sequence to the scalar path — per
+        ``(segment, slot)`` pair in ``segments_of_cell`` order: mark
+        visited, init-if-fresh, decrement ``to_visit``, add the slot
+        mass (memoised or freshly computed), record the street lower
+        bound, finalise on zero ``to_visit`` — driven by Python ints
+        against the flat columns (cell groups hold only a handful of
+        segments, see the state_store module docs).
+        """
+        layout = self._layout
+        group = layout.by_cell.get(cell)
+        if group is None:
+            return
+        seg_list, slot_list = group
+        store = self.store
+        stats = self.stats
+        epoch = store.epoch
+        visit_epoch = store.visit_epoch
+        seen_epoch = store.seen_epoch
+        final_epoch = store.final_epoch
+        to_visit = store.to_visit
+        mass_col = store.mass
+        remaining = store.remaining_ub
+        total_ub = self._bind.total_ub_list
+        cell_counts = layout.cell_counts_list
+        seg_ids = layout.seg_ids_list
+        street_list = layout.street_list
+        buffer_list = layout.buffer_list
+        lengths_list = layout.lengths_list
+        mass_slots = self._mass_slots
+        slot_known = mass_slots.known
+        slot_mass = mass_slots.mass
+        active = store.active
+        seen_ids = store.seen_ids
+        final_ids = store.final_ids
+        topk = self._lbk_topk
+        cell_ub = self._cell_ub.get(cell, 0)
+        relevant = cell_ub > 0
+        checking = contracts.ENABLED
+        for dense, slot in zip(seg_list, slot_list):
+            if visit_epoch[slot] == epoch:
+                continue
+            visit_epoch[slot] = epoch
+            stats.cell_visits += 1
+            if seen_epoch[dense] != epoch:
+                seen_epoch[dense] = epoch
+                mass_col[dense] = 0.0
+                remaining[dense] = total_ub[dense]
+                to_visit[dense] = cell_counts[dense]
+                active.append(dense)
+                seen_ids.add(seg_ids[dense])
+                stats.segments_seen += 1
+            to_visit[dense] -= 1
+            if relevant:
+                if slot_known[slot]:
+                    stats.mass_cache_hits += 1
+                    value = slot_mass[slot]
+                else:
+                    value = _segment_mass_in_cell_uncached(
+                        layout.segments[dense], cell, self.cache, self.eps,
+                        self.weighted, stats)
+                    slot_mass[slot] = value
+                    slot_known[slot] = True
+                    if self._count_memo:
+                        stats.mass_cache_misses += 1
+                new_mass = mass_col[dense] + value
+                mass_col[dense] = new_mass
+                remaining[dense] -= cell_ub
+                if new_mass > 0.0:
+                    if checking:
+                        contracts.check_definition2(
+                            new_mass, lengths_list[dense], self.eps)
+                    if topk.update(street_list[dense],
+                                   new_mass / buffer_list[dense]):
+                        stats.lbk_heap_updates += 1
+                        self._lbk_dirty = True
+            if to_visit[dense] == 0:
+                # An unvisited slot implies the segment was not yet final,
+                # so this zero crossing is its (single) finalisation.
+                final_epoch[dense] = epoch
+                final_ids.add(seg_ids[dense])
+                stats.segments_finalized_in_filter += 1
+
+    def _store_record_bound(self, dense: int) -> None:
+        """Single-segment lower-bound record (the _finalize tail)."""
+        store = self.store
+        mass = store.mass[dense]
+        if mass <= 0.0:
+            return
+        layout = self._layout
+        if contracts.ENABLED:
+            contracts.check_definition2(
+                mass, layout.lengths_list[dense], self.eps)
+        value = mass / layout.buffer_list[dense]
+        if self._lbk_topk.update(layout.street_list[dense], value):
+            self.stats.lbk_heap_updates += 1
+            self._lbk_dirty = True
+
+    def _store_ensure_seen(self, dense: int) -> None:
+        store = self.store
+        epoch = store.epoch
+        if store.seen_epoch[dense] == epoch:
+            return
+        layout = self._layout
+        store.seen_epoch[dense] = epoch
+        store.mass[dense] = 0.0
+        store.remaining_ub[dense] = self._bind.total_ub_list[dense]
+        store.to_visit[dense] = layout.cell_counts_list[dense]
+        store.active.append(dense)
+        store.seen_ids.add(layout.seg_ids_list[dense])
+        self.stats.segments_seen += 1
+
+    def _store_visit_rest(self, dense: int) -> None:
+        """Visit every remaining cell of a segment with one batched kernel.
+
+        The unvisited slots come out of the CSR slice in ascending slot
+        order — the canonical ``cells_of_segment`` order the scalar path
+        now iterates too — so the accumulated mass is bit-identical.
+        """
+        store = self.store
+        layout = self._layout
+        epoch = store.epoch
+        start = int(layout.slot_offsets[dense])
+        stop = int(layout.slot_offsets[dense + 1])
+        if stop == start:
+            return
+        mass_slots = self._mass_slots
+        # Mark visited and split the relevant slots into memoised vs fresh
+        # in one walk of the segment's slot run.
+        visit_epoch = store.visit_epoch
+        slot_relevant = self._bind.slot_relevant_list
+        slot_known = mass_slots.known
+        rel_list: list[int] = []
+        count = 0
+        all_known = True
+        for slot in range(start, stop):
+            if visit_epoch[slot] == epoch:
+                continue
+            visit_epoch[slot] = epoch
+            count += 1
+            if slot_relevant[slot]:
+                rel_list.append(slot)
+                if not slot_known[slot]:
+                    all_known = False
+        if count:
+            self.stats.cell_visits += count
+        if not rel_list:
+            return
+        if all_known:
+            # Warm fast path: every contribution is memoised; accumulate
+            # the slot run in cell order.
+            self.stats.mass_cache_hits += len(rel_list)
+            slot_mass = mass_slots.mass
+            added = 0.0
+            for slot in rel_list:
+                added += slot_mass[slot]
+        else:
+            slot_cells = layout.slot_cells
+            added = segment_mass_batched_slots(
+                layout.segments[dense],
+                [slot_cells[slot] for slot in rel_list], rel_list,
+                mass_slots.mass, mass_slots.known, self.cache,
+                self.eps, self.weighted, stats=self.stats,
+                count_memo=self._count_memo)
+        store.mass[dense] = store.mass[dense] + added
+
+    def _store_finalize(self, dense: int) -> None:
+        """Store-path _finalize: visit the rest, mark final, record LB."""
+        self._store_ensure_seen(dense)
+        store = self.store
+        self._store_visit_rest(dense)
+        store.to_visit[dense] = 0
+        store.remaining_ub[dense] = 0
+        epoch = store.epoch
+        if store.final_epoch[dense] != epoch:
+            store.final_epoch[dense] = epoch
+            store.final_ids.add(self._layout.seg_ids_list[dense])
+            self.stats.segments_finalized_in_filter += 1
+        self._store_record_bound(dense)
+
+    def _store_finalize_exact(self, dense: int) -> None:
+        """Store-path _finalize_exact: no LB record, no filter counter."""
+        store = self.store
+        self._store_visit_rest(dense)
+        store.to_visit[dense] = 0
+        store.remaining_ub[dense] = 0
+        store.final_epoch[dense] = store.epoch
+        store.final_ids.add(self._layout.seg_ids_list[dense])
+
+    def _refine_store(self) -> list[SOIResult]:
+        """Store-path refinement over the active dense positions."""
+        layout = self._layout
+        store = self.store
+        epoch = store.epoch
+        eps = self.eps
+        seg_ids = layout.seg_ids_list
+        street_of = layout.street_list
+        lengths = layout.lengths_list
+        buffer_col = layout.buffer_list
+        mass_col = store.mass
+        final_col = store.final_epoch
+        remaining_col = store.remaining_ub
+        weight_cap = self._weight_cap
+        exact: dict[int, tuple[float, int]] = {}
+        exact_topk = TopKThreshold(self.k)
+
+        def record_exact(dense: int) -> None:
+            mass = float(mass_col[dense])
+            if contracts.ENABLED:
+                contracts.check_definition2(mass, lengths[dense], eps)
+            value = mass / buffer_col[dense]
+            street_id = street_of[dense]
+            best = exact.get(street_id)
+            if best is None or value > best[0]:
+                exact[street_id] = (value, seg_ids[dense])
+                exact_topk.update(street_id, value)
+
+        partial: list[tuple[float, int, int]] = []
+        for dense in store.active:
+            if final_col[dense] == epoch:
+                record_exact(dense)
+                continue
+            remaining_ub = int(remaining_col[dense]) * weight_cap
+            if remaining_ub == 0:
+                # The unvisited cells hold no relevant POIs: mass is exact.
+                store.to_visit[dense] = 0
+                final_col[dense] = epoch
+                store.final_ids.add(seg_ids[dense])
+                record_exact(dense)
+                continue
+            optimistic = segment_interest(
+                float(mass_col[dense]) + remaining_ub,
+                lengths[dense], eps)
+            partial.append((optimistic, seg_ids[dense], dense))
+
+        partial.sort(key=lambda item: (-item[0], item[1]))
+        for index, (optimistic, _sid, dense) in enumerate(partial):
+            if self.prune_refinement:
+                kth = exact_topk.current()
+                if kth is not None and optimistic < kth:
+                    self.stats.refinement_pruned += len(partial) - index
+                    break
+            self._store_finalize_exact(dense)
+            record_exact(dense)
+            self.stats.refinement_finalized += 1
+
+        ranked = sorted(
+            ((value, street_id, seg_id)
+             for street_id, (value, seg_id) in exact.items() if value > 0),
+            key=lambda item: (-item[0], item[1]))
+        network = self.engine.network
+        return [
+            SOIResult(street_id=street_id,
+                      street_name=network.street(street_id).name,
+                      interest=value,
+                      best_segment_id=seg_id)
+            for value, street_id, seg_id in ranked[: self.k]
+        ]

@@ -18,10 +18,12 @@ from repro.core.interest import (
     RelevantCellCache,
     segment_interest,
     segment_mass_batched,
+    segment_mass_batched_slots,
     validate_query,
 )
 from repro.core.results import SOIResult
 from repro.core.soi import DEFAULT_EPS, SOIEngine
+from repro.core.state_store import MassSlots
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracer import trace_span
 
@@ -45,6 +47,7 @@ class BaselineSOI:
         weighted: bool = False,
         aggregate: StreetAggregate | None = None,
         use_session: bool = True,
+        use_store: bool = True,
     ) -> list[SOIResult]:
         """Top-k streets by exhaustive computation.
 
@@ -59,7 +62,8 @@ class BaselineSOI:
         from repro.core.aggregates import StreetAggregate, rank_streets
 
         interests = self.all_segment_interests(keywords, k, eps, weighted,
-                                               use_session=use_session)
+                                               use_session=use_session,
+                                               use_store=use_store)
         network = self.engine.network
         if aggregate is None or aggregate is StreetAggregate.MAX:
             best: dict[int, tuple[float, int]] = {}
@@ -100,6 +104,7 @@ class BaselineSOI:
         eps: float = DEFAULT_EPS,
         weighted: bool = False,
         use_session: bool = True,
+        use_store: bool = True,
         stats=None,
     ) -> dict[int, float]:
         """Exact Definition 2 interest of *every* segment.
@@ -109,6 +114,9 @@ class BaselineSOI:
         runs per segment (over its whole ``eps``-neighbourhood), and with
         ``use_session=True`` the per-cell materialisations and masses are
         shared with the engine's other queries on the same keyword set.
+        ``use_store=True`` memoises masses in the session's slot columns
+        (the array-native store layout) instead of the dict memo — the
+        values and the accumulation order are bit-identical either way.
         ``stats`` (an :class:`~repro.core.results.SOIStats` or compatible)
         collects kernel/cache counters.
         """
@@ -119,20 +127,65 @@ class BaselineSOI:
                        else None)
             if session is not None:
                 cache = session.cache
-                mass_cache = session.mass_cache(eps, weighted)
                 if stats is not None:
                     stats.session_reused = session.queries_served > 0
                 session.queries_served += 1
             else:
                 cache = RelevantCellCache(self.engine.poi_index, query)
-                mass_cache = None
-            cell_maps = self.engine.cell_maps
-            out: dict[int, float] = {}
-            for segment in self.engine.network.iter_segments():
-                mass = segment_mass_batched(
-                    segment, cell_maps.cells_of_segment(segment.id, eps),
-                    cache, eps, weighted, stats=stats, mass_cache=mass_cache)
-                out[segment.id] = segment_interest(mass, segment.length, eps)
+            if use_store:
+                out = self._interests_via_store(
+                    query, eps, weighted, session, cache, stats)
+            else:
+                mass_cache = (session.mass_cache(eps, weighted)
+                              if session is not None else None)
+                cell_maps = self.engine.cell_maps
+                out = {}
+                for segment in self.engine.network.iter_segments():
+                    mass = segment_mass_batched(
+                        segment, cell_maps.cells_of_segment(segment.id, eps),
+                        cache, eps, weighted, stats=stats,
+                        mass_cache=mass_cache)
+                    out[segment.id] = segment_interest(
+                        mass, segment.length, eps)
         obs_metrics.REGISTRY.inc("soi.baseline_queries")
         obs_metrics.REGISTRY.inc("soi.baseline_segments_scanned", len(out))
+        return out
+
+    def _interests_via_store(self, query, eps, weighted, session, cache,
+                             stats) -> dict[int, float]:
+        """Scan every segment through the store layout's CSR slots.
+
+        The dense order *is* ``iter_segments`` order and each segment's
+        slot run *is* its ``cells_of_segment`` order, so masses accumulate
+        exactly as on the dict-memo path.
+        """
+        layout = self.engine.store_layout(eps)
+        if session is not None:
+            mass_slots = session.store_mass_slots(layout, weighted)
+            count_memo = True
+        else:
+            mass_slots = MassSlots(layout.num_slots)
+            count_memo = False
+        slot_cells = layout.slot_cells
+        offsets = layout.slot_offsets
+        known_col = mass_slots.known
+        mass_col = mass_slots.mass
+        out: dict[int, float] = {}
+        for dense, segment in enumerate(layout.segments):
+            start = int(offsets[dense])
+            stop = int(offsets[dense + 1])
+            if start < stop and all(known_col[start:stop]):
+                # Warm fast path: every contribution is memoised;
+                # accumulate the slot run in cell order.
+                if stats is not None:
+                    stats.mass_cache_hits += stop - start
+                mass = 0.0
+                for value in mass_col[start:stop]:
+                    mass += value
+            else:
+                mass = segment_mass_batched_slots(
+                    segment, slot_cells[start:stop], range(start, stop),
+                    mass_col, known_col, cache, eps, weighted,
+                    stats=stats, count_memo=count_memo)
+            out[segment.id] = segment_interest(mass, segment.length, eps)
         return out

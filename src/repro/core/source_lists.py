@@ -24,9 +24,17 @@ from repro.index.grid import CellCoord
 class CellSourceList:
     """SL1: ``(cell, relevant-count-upper-bound)`` entries, count-descending."""
 
-    def __init__(self, entries: Sequence[tuple[CellCoord, int]]) -> None:
-        # Deterministic order: count desc, then cell coordinates.
-        self._entries = sorted(entries, key=lambda e: (-e[1], e[0]))
+    def __init__(self, entries: Sequence[tuple[CellCoord, int]],
+                 presorted: bool = False) -> None:
+        # Deterministic order: count desc, then cell coordinates.  A
+        # session that already holds the sorted entries (the order depends
+        # only on the keyword signature) passes ``presorted=True`` so warm
+        # queries skip the O(n log n) re-sort; the list never mutates the
+        # sequence, so a shared tuple is safe.
+        if presorted:
+            self._entries = entries
+        else:
+            self._entries = sorted(entries, key=lambda e: (-e[1], e[0]))
         self._next = 0
 
     def top(self) -> int:

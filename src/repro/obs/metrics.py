@@ -229,6 +229,23 @@ def record_describe_query(stats, seconds: float, method: str = "st_rel_div",
     reg.observe(f"describe.{method}_select_s", seconds)
 
 
+def record_serve_batch(size: int, groups: int,
+                       registry: MetricsRegistry | None = None) -> None:
+    """Absorb one worker micro-batch into ``serve.*`` metrics.
+
+    ``size`` is how many queued requests the worker drained in one loop
+    turn; ``groups`` how many distinct signature groups they collapsed
+    into.  ``serve.batch_grouped`` counts the requests that shared a
+    group with a predecessor — the ones that ran against an
+    already-resolved session.
+    """
+    reg = REGISTRY if registry is None else registry
+    reg.inc("serve.batches")
+    reg.observe("serve.batch_size", float(size))
+    if size > groups:
+        reg.inc("serve.batch_grouped", size - groups)
+
+
 def soi_counters(registry: MetricsRegistry | None = None) -> dict[str, int]:
     """Aggregated SOI counters, keyed like ``SOIStats.counters()``."""
     reg = REGISTRY if registry is None else registry
@@ -251,6 +268,7 @@ __all__ = [
     "bucket_exponent",
     "describe_counters",
     "record_describe_query",
+    "record_serve_batch",
     "record_soi_query",
     "soi_counters",
 ]

@@ -336,6 +336,65 @@ def write_report(report: dict, path: Path) -> None:
                     encoding="utf-8")
 
 
+# -- history log (BENCH_history.jsonl) ---------------------------------------
+
+def history_record(report: dict) -> dict:
+    """One compact history line for a bench report or throughput run.
+
+    Keeps only what trend-reading needs — suite, per-city medians (or QPS
+    per worker count for serve runs), the cold/warm counter dumps and the
+    environment stamp.  Deliberately carries **no timestamp**: records
+    are ordered by their position in the log and stay byte-reproducible
+    for a given commit, matching the repo's determinism convention.
+    """
+    suite = report.get("suite")
+    record: dict = {
+        "schema_version": report.get("schema_version"),
+        "suite": suite,
+        "environment": report.get("environment", {}),
+        "cities": {},
+    }
+    if suite == "serve":
+        record["micro_batch"] = report.get("micro_batch", 1)
+        for name, entry in report.get("cities", {}).items():
+            record["cities"][name] = {
+                "qps": {str(rec["workers"]): rec["qps"]
+                        for rec in entry.get("records", ())},
+            }
+        return record
+    for name, entry in report.get("cities", {}).items():
+        city: dict = {
+            "medians": {key: value for key, value in entry.items()
+                        if key.endswith("_median_s")},
+        }
+        if "counters" in entry:
+            city["counters"] = entry["counters"]
+        record["cities"][name] = city
+    return record
+
+
+def append_history(report: dict, path: Path) -> dict:
+    """Append one :func:`history_record` line to a ``.jsonl`` log.
+
+    The log is append-only newline-delimited JSON with sorted keys, so
+    each run adds exactly one diff line to the committed history file.
+    """
+    record = history_record(report)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return record
+
+
+def read_history(path: Path) -> list[dict]:
+    """All records of a history log (blank lines skipped)."""
+    if not path.exists():
+        return []
+    return [json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()]
+
+
 # -- throughput suite (BENCH_serve.json) -------------------------------------
 
 def worker_counts(max_workers: int) -> list[int]:
@@ -367,6 +426,7 @@ def bench_throughput(
     eps: float = DEFAULT_EPS,
     jobs: int | None = None,
     verify: bool = False,
+    micro_batch: int = 1,
 ) -> dict:
     """Replay a seeded mixed workload against 1..``workers`` processes.
 
@@ -375,9 +435,12 @@ def bench_throughput(
     — an untimed warm pass (snapshot attach, session/describer warm-up)
     and a timed pass — and recorded as QPS plus worker-side latency
     percentiles.  ``concurrency`` bounds the in-flight window (default:
-    four per worker).  ``verify=True`` additionally replays the workload
-    on the in-process engine and fails unless every payload is identical
-    (the serving layer's accelerator contract).
+    four per worker).  ``micro_batch`` sets the per-worker drain size
+    (``--batch``): workers pull up to that many queued requests per loop
+    turn and run same-signature runs against one shared session.
+    ``verify=True`` additionally replays the workload on the in-process
+    engine and fails unless every payload is identical (the serving
+    layer's accelerator contract).
     """
     from repro.errors import ReproError
     from repro.serve.server import EngineServer, serve_request
@@ -391,6 +454,7 @@ def bench_throughput(
         "eps": eps,
         "scale": scale,
         "concurrency": concurrency,
+        "micro_batch": micro_batch,
         "worker_counts": worker_counts(workers),
         "verified": bool(verify),
         "environment": environment(),
@@ -403,8 +467,8 @@ def bench_throughput(
                    for request in requests] if verify else None)
         entry: dict = {"num_requests": len(requests), "records": []}
         for count in run["worker_counts"]:
-            with EngineServer.for_engine(engine, city.photos,
-                                         workers=count) as server:
+            with EngineServer.for_engine(engine, city.photos, workers=count,
+                                         micro_batch=micro_batch) as server:
                 warm0 = time.perf_counter()
                 server.run(requests, window=concurrency)
                 warm_s = time.perf_counter() - warm0

@@ -36,9 +36,15 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.core.interest import RelevantCellCache
+from repro.core.state_store import (
+    MassSlots,
+    SegmentStateStore,
+    SignatureBindings,
+)
 from repro.obs.metrics import REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.state_store import StoreLayout
     from repro.index.grid import CellCoord
     from repro.index.poi_grid import POIGridIndex
 
@@ -52,7 +58,9 @@ class QuerySession:
     """All cached per-query materialisations for one keyword signature."""
 
     __slots__ = ("signature", "generation", "cache", "_poi_index",
-                 "_cell_ub", "_mass", "queries_served")
+                 "_cell_ub", "_sl1_entries", "_mass", "queries_served",
+                 "_store_lock", "_bindings", "_mass_slots", "_state_stores",
+                 "store_reuses")
 
     def __init__(self, poi_index: "POIGridIndex",
                  signature: frozenset[str], generation: int = 0) -> None:
@@ -61,9 +69,20 @@ class QuerySession:
         self._poi_index = poi_index
         self.cache = RelevantCellCache(poi_index, signature)
         self._cell_ub: dict["CellCoord", int] | None = None
+        self._sl1_entries: tuple[tuple["CellCoord", int], ...] | None = None
         self._mass: dict[tuple[float, bool],
                          dict[tuple[int, "CellCoord"], float]] = {}
         self.queries_served = 0
+        # Store-path materialisations: per-eps signature bindings, per
+        # (eps, weighted) slot memos, and the recycled scratch stores.
+        # Unlike the add-only dict caches above, the scratch stores are
+        # *mutated* per run, so the free-list hands each out exclusively;
+        # the lock serialises all three maps.
+        self._store_lock = threading.Lock()
+        self._bindings: dict[float, SignatureBindings] = {}
+        self._mass_slots: dict[tuple[float, bool], MassSlots] = {}
+        self._state_stores: dict[float, list[SegmentStateStore]] = {}
+        self.store_reuses = 0
 
     def cell_upper_bounds(self) -> dict["CellCoord", int]:
         """``|P_Psi(c)| > 0`` per candidate cell (Algorithm 1, line 2).
@@ -80,6 +99,64 @@ class QuerySession:
                     bounds[cell] = ub
             self._cell_ub = bounds
         return self._cell_ub
+
+    def sl1_entries(self) -> tuple[tuple["CellCoord", int], ...]:
+        """The SL1 entries presorted (count desc, then cell coordinates).
+
+        The order depends only on the keyword signature, so warm queries
+        hand the shared tuple straight to
+        :class:`~repro.core.source_lists.CellSourceList` without re-sorting.
+        """
+        if self._sl1_entries is None:
+            self._sl1_entries = tuple(sorted(
+                self.cell_upper_bounds().items(),
+                key=lambda e: (-e[1], e[0])))
+        return self._sl1_entries
+
+    def store_bindings(self, layout: "StoreLayout") -> SignatureBindings:
+        """This signature's cell upper bounds projected onto ``layout``."""
+        with self._store_lock:
+            bindings = self._bindings.get(layout.eps)
+        if bindings is None:
+            built = SignatureBindings(layout, self.cell_upper_bounds())
+            with self._store_lock:
+                # A concurrent builder may have won; both built the same
+                # deterministic arrays, keep whichever landed first.
+                bindings = self._bindings.setdefault(layout.eps, built)
+        return bindings
+
+    def store_mass_slots(self, layout: "StoreLayout",
+                         weighted: bool) -> MassSlots:
+        """The slot-indexed mass memo for one ``(eps, weighted)``."""
+        key = (layout.eps, weighted)
+        with self._store_lock:
+            slots = self._mass_slots.get(key)
+            if slots is None:
+                slots = MassSlots(layout.num_slots)
+                self._mass_slots[key] = slots
+        return slots
+
+    def acquire_state_store(
+            self, layout: "StoreLayout") -> tuple[SegmentStateStore, bool]:
+        """A scratch store for one run; True when recycled from the pool.
+
+        The store is handed out exclusively — the caller must return it
+        via :meth:`release_state_store` when (and only when) the run
+        completed normally.
+        """
+        with self._store_lock:
+            pool = self._state_stores.get(layout.eps)
+            store = pool.pop() if pool else None
+        if store is None:
+            return SegmentStateStore(layout), False
+        self.store_reuses += 1
+        REGISTRY.inc("session.store_reuse_hits")
+        return store, True
+
+    def release_state_store(self, store: SegmentStateStore) -> None:
+        """Return a scratch store to the free-list for the next run."""
+        with self._store_lock:
+            self._state_stores.setdefault(store.layout.eps, []).append(store)
 
     def mass_cache(self, eps: float,
                    weighted: bool) -> dict[tuple[int, "CellCoord"], float]:

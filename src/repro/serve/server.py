@@ -43,6 +43,7 @@ from repro.obs.tracer import monotonic_now, perf_now, trace_span
 from repro.core.describe import STRelDivDescriber, build_street_profile
 from repro.core.describe.profile import DEFAULT_RHO
 from repro.core.soi import DEFAULT_EPS, AccessStrategy, SOIEngine
+from repro.data.keywords import normalize_keywords
 from repro.errors import (
     QueryError,
     ReproError,
@@ -91,6 +92,7 @@ def serve_request(
     photos: "PhotoSet | None",
     request: Request,
     describers: "OrderedDict | None" = None,
+    session=None,
 ):
     """Serve one request against an engine — the single serving code path.
 
@@ -102,10 +104,16 @@ def serve_request(
     k-SOI requests return the engine's :class:`~repro.core.results.SOIResult`
     list; describe requests return the selected photo ids in selection
     order.  ``describers`` (an :class:`~collections.OrderedDict`) enables
-    LRU reuse of street profiles across describe queries.
+    LRU reuse of street profiles across describe queries.  ``session`` is
+    an already-resolved :class:`~repro.perf.session.QuerySession` for the
+    request's keyword signature (micro-batched serving resolves it once
+    per group); it must belong to ``engine``.  Cached session values are
+    bitwise what a fresh run computes, so passing one cannot change a
+    payload.
     """
     with trace_span("serve.request", kind=type(request).__name__):
-        return _serve_request_impl(engine, photos, request, describers)
+        return _serve_request_impl(engine, photos, request, describers,
+                                   session)
 
 
 def _serve_request_impl(
@@ -113,12 +121,13 @@ def _serve_request_impl(
     photos: "PhotoSet | None",
     request: Request,
     describers: "OrderedDict | None" = None,
+    session=None,
 ):
     if isinstance(request, SOIRequest):
         return engine.top_k(
             request.keywords, request.k, eps=request.eps,
             strategy=AccessStrategy(request.strategy),
-            weighted=request.weighted)
+            weighted=request.weighted, session=session)
     if isinstance(request, DescribeRequest):
         if photos is None:
             raise QueryError(
@@ -164,50 +173,104 @@ class _WorkerView:
         self.snapshot.close()
 
 
-def _worker_main(worker_id: int, tasks, results) -> None:
+def _group_key(request) -> tuple:
+    """Micro-batch ordering key: requests with equal keys share session
+    state, so sorting a drained batch runs each signature's requests
+    back-to-back.  The key is a total order over well-formed requests
+    (kind first, then the signature parameters)."""
+    if isinstance(request, SOIRequest):
+        return (0, tuple(sorted(normalize_keywords(request.keywords))),
+                request.eps, request.weighted)
+    if isinstance(request, DescribeRequest):
+        return (1, request.street_id, request.eps, request.rho)
+    return (2, type(request).__name__)
+
+
+def _worker_main(worker_id: int, tasks, results,
+                 micro_batch: int = 1) -> None:
     """Worker loop: attach on demand, serve until the ``None`` sentinel.
+
+    With ``micro_batch > 1`` each loop turn drains up to that many queued
+    tasks and stable-sorts them by :func:`_group_key`, so same-signature
+    k-SOI requests execute consecutively against one resolved session
+    (and describe requests for one street reuse the cached describer).
+    Results still carry their original sequence numbers — the parent's
+    reordering is untouched, and payloads are bit-identical to unbatched
+    serving because session caches only memoise exact values.
 
     Must stay importable at module level — the pool uses the ``spawn``
     start method, which re-imports this module in the child.
     """
     view: _WorkerView | None = None
+    stop = False
     try:
-        while True:
+        while not stop:
             task = tasks.get()
             if task is None:
                 break
-            seq, shm_name, generation, request = task
-            started = perf_now()
-            try:
-                if view is not None and view.name != shm_name:
-                    view.close()
-                    view = None
-                if view is None:
-                    view = _WorkerView(shm_name)
-                if view.snapshot.generation != generation:
-                    raise StaleSnapshotError(
-                        f"snapshot {shm_name!r} holds generation "
-                        f"{view.snapshot.generation}, task expects "
-                        f"{generation}")
-                payload = serve_request(
-                    view.engine, view.photos, request, view.describers)
-                status, body = "ok", payload
-            except ReproError as exc:
-                status, body = "error", (type(exc).__name__, str(exc))
-            except Exception as exc:  # repro-lint: disable=REP-H302 (worker must not die; the error is reported to the parent verbatim)
-                status, body = "error", (type(exc).__name__, str(exc))
-            service_s = perf_now() - started
-            registry = obs_metrics.REGISTRY
-            registry.inc("serve.requests")
-            if status == "error":
-                registry.inc("serve.errors")
-            registry.observe("serve.request_s", service_s)
-            # Each response carries the worker's full metrics snapshot;
-            # the parent keeps only the latest dump per worker and merges
-            # them on demand, so worker metrics survive worker restarts
-            # and aggregate centrally without a side channel.
-            results.put((seq, worker_id, status, body, service_s,
-                         registry.to_dict()))
+            batch = [task]
+            while len(batch) < micro_batch:
+                try:
+                    extra = tasks.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if extra is None:
+                    # Finish the drained work, then shut down.
+                    stop = True
+                    break
+                batch.append(extra)
+            if len(batch) > 1:
+                batch.sort(key=lambda item: _group_key(item[3]))
+            if micro_batch > 1:
+                obs_metrics.record_serve_batch(
+                    len(batch),
+                    len({_group_key(item[3]) for item in batch}))
+            # The resolved session of the current group; keys only compare
+            # within one attached view (re-attach resets the group).
+            current_key: tuple | None = None
+            session = None
+            for seq, shm_name, generation, request in batch:
+                started = perf_now()
+                try:
+                    if view is not None and view.name != shm_name:
+                        view.close()
+                        view = None
+                        current_key, session = None, None
+                    if view is None:
+                        view = _WorkerView(shm_name)
+                    if view.snapshot.generation != generation:
+                        raise StaleSnapshotError(
+                            f"snapshot {shm_name!r} holds generation "
+                            f"{view.snapshot.generation}, task expects "
+                            f"{generation}")
+                    key = _group_key(request)
+                    if key != current_key:
+                        current_key = key
+                        session = None
+                        if isinstance(request, SOIRequest):
+                            signature = normalize_keywords(request.keywords)
+                            if signature:
+                                session = view.engine.sessions.get(signature)
+                    payload = serve_request(
+                        view.engine, view.photos, request, view.describers,
+                        session=session)
+                    status, body = "ok", payload
+                except ReproError as exc:
+                    status, body = "error", (type(exc).__name__, str(exc))
+                except Exception as exc:  # repro-lint: disable=REP-H302 (worker must not die; the error is reported to the parent verbatim)
+                    status, body = "error", (type(exc).__name__, str(exc))
+                service_s = perf_now() - started
+                registry = obs_metrics.REGISTRY
+                registry.inc("serve.requests")
+                if status == "error":
+                    registry.inc("serve.errors")
+                registry.observe("serve.request_s", service_s)
+                # Each response carries the worker's full metrics snapshot;
+                # the parent keeps only the latest dump per worker and
+                # merges them on demand, so worker metrics survive worker
+                # restarts and aggregate centrally without a side channel.
+                results.put((seq, worker_id, status, body, service_s,
+                             registry.to_dict()))
     finally:
         if view is not None:
             view.close()
@@ -236,9 +299,14 @@ class EngineServer:
         workers: int = 2,
         source: SOIEngine | None = None,
         source_photos: "PhotoSet | None" = None,
+        micro_batch: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if micro_batch < 1:
+            raise ValueError(
+                f"micro_batch must be at least 1, got {micro_batch}")
+        self._micro_batch = micro_batch
         self._snapshot = snapshot
         self._source = source
         self._source_photos = source_photos
@@ -257,7 +325,8 @@ class EngineServer:
         self._stale_snapshots: list[IndexSnapshot] = []
         self._workers = [
             self._ctx.Process(
-                target=_worker_main, args=(wid, self._tasks, self._results),
+                target=_worker_main,
+                args=(wid, self._tasks, self._results, micro_batch),
                 name=f"repro-serve-{wid}", daemon=True)
             for wid in range(workers)
         ]
@@ -271,11 +340,16 @@ class EngineServer:
         photos: "PhotoSet | None" = None,
         workers: int = 2,
         warm_eps: Sequence[float] = (DEFAULT_EPS,),
+        micro_batch: int = 1,
     ) -> "EngineServer":
-        """Export a snapshot of ``engine`` and spin up ``workers`` processes."""
+        """Export a snapshot of ``engine`` and spin up ``workers`` processes.
+
+        ``micro_batch`` is how many queued requests each worker drains per
+        loop turn (cross-request micro-batching; 1 disables it).
+        """
         snapshot = IndexSnapshot.export(engine, photos, warm_eps=warm_eps)
         return cls(snapshot, workers=workers, source=engine,
-                   source_photos=photos)
+                   source_photos=photos, micro_batch=micro_batch)
 
     # -- introspection ----------------------------------------------------
 
@@ -286,6 +360,11 @@ class EngineServer:
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    @property
+    def micro_batch(self) -> int:
+        """Requests each worker may drain per loop turn (1 = no batching)."""
+        return self._micro_batch
 
     @property
     def inflight(self) -> int:

@@ -189,6 +189,10 @@ def build_arrays(
         arrays[f"scm_aug{index}_offsets"] = offs
         arrays[f"scm_aug{index}_cells"] = vals
         eps_values.append(float(eps))
+        # Warm the source engine's store layout too: for_engine servers
+        # verify payloads against the source, and the layout derives from
+        # exactly the maps serialised above.
+        engine.store_layout(float(eps))
 
     # -- SL3 (query-independent segment order) ----------------------------
     arrays["sl3_ids"] = np.asarray([sid for sid, _len in engine._sl3_entries],

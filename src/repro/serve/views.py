@@ -221,7 +221,13 @@ def attach_engine(
         (int(sid), float(length))
         for sid, length in zip(snapshot.array("sl3_ids"),
                                snapshot.array("sl3_lengths")))
-    return SOIEngine.from_prebuilt(
+    engine = SOIEngine.from_prebuilt(
         network, pois, poi_index, cell_maps, extent, sl3_entries,
         index_generation=snapshot.generation,
         session_pool_size=session_pool_size)
+    # Pre-build the store layout of every warmed eps: the CSR derives
+    # from the attached cell maps (in the recorded element order), so the
+    # first query pays neither the augmentation nor the layout pass.
+    for eps in snapshot.meta.get("warm_eps", ()):
+        engine.store_layout(float(eps))
+    return engine

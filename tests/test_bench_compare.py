@@ -136,3 +136,53 @@ def test_append_serve_run_is_append_only(tmp_path):
     assert log["schema_version"] == bench.SCHEMA_VERSION
     assert [run["cities"]["vienna"]["records"][0]["qps"]
             for run in log["runs"]] == [100.0, 90.0]
+
+
+def latency_report() -> dict:
+    return {
+        "suite": "soi",
+        "schema_version": bench.SCHEMA_VERSION,
+        "environment": {"python": "3.11.7", "numpy": "1.26", "cpu_count": 4},
+        "cities": {"vienna": {
+            "soi_k_sweep_median_s": 0.05,
+            "bl_k_sweep_median_s": 0.20,
+            "soi_k_points": {"10": 0.01},
+            "counters": {"cold": {"kernel_calls": 7}},
+        }},
+    }
+
+
+def test_history_record_keeps_medians_counters_and_environment():
+    record = bench.history_record(latency_report())
+    assert record["suite"] == "soi"
+    assert record["schema_version"] == bench.SCHEMA_VERSION
+    city = record["cities"]["vienna"]
+    assert city["medians"] == {"soi_k_sweep_median_s": 0.05,
+                               "bl_k_sweep_median_s": 0.20}
+    assert city["counters"] == {"cold": {"kernel_calls": 7}}
+    assert record["environment"]["cpu_count"] == 4
+    # Per-point sweeps are detail the one-line log deliberately drops.
+    assert "soi_k_points" not in str(city["medians"])
+
+
+def test_history_record_serve_run_keeps_qps_and_batch():
+    run = serve_run(100.0, 0.01)
+    run["micro_batch"] = 8
+    record = bench.history_record(run)
+    assert record["micro_batch"] == 8
+    assert record["cities"]["vienna"]["qps"] == {"1": 100.0}
+
+
+def test_append_history_round_trips_one_line_per_run(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    bench.append_history(latency_report(), path)
+    bench.append_history(serve_run(100.0, 0.01), path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    records = bench.read_history(path)
+    assert [r["suite"] for r in records] == ["soi", "serve"]
+    # Records are deterministic: same report, same byte-identical line.
+    bench.append_history(latency_report(), path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert lines[2] == lines[0]
+    assert bench.read_history(tmp_path / "missing.jsonl") == []

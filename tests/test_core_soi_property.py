@@ -54,6 +54,47 @@ def test_soi_options_agree_with_baseline(network, pois, strategy, prune):
     assert_topk_equivalent(results, baseline)
 
 
+@pytest.fixture(scope="module", params=["vienna", "berlin"])
+def preset_engine(request):
+    """A scaled-down Figure 4 city preset (built once per module)."""
+    from repro.datagen import build_preset
+
+    city = build_preset(request.param, 0.1)
+    return SOIEngine(city.network, city.pois)
+
+
+@pytest.mark.parametrize("check", [False, True], ids=["plain", "contracts"])
+@given(k=st.integers(min_value=1, max_value=20),
+       num_keywords=st.integers(min_value=1, max_value=4),
+       weighted=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_access_strategies_agree_on_fig4_presets(preset_engine, check, k,
+                                                 num_keywords, weighted):
+    """The paper: correctness "is not affected by the access strategy".
+
+    Every variant must return the *identical* result list (streets,
+    interests bitwise, best segments) on the Figure 4 query presets —
+    plain and with runtime contracts on (``REPRO_CHECK=1`` semantics).
+    """
+    from repro.analysis import contracts
+    from repro.eval.experiments import PAPER_QUERY_KEYWORDS
+
+    keywords = PAPER_QUERY_KEYWORDS[:num_keywords]
+    previous = contracts.ENABLED
+    contracts.enable_contracts(check)
+    try:
+        reference = preset_engine.top_k(
+            keywords, k=k, eps=0.0005, weighted=weighted,
+            strategy=AccessStrategy.ALTERNATE)
+        for strategy in AccessStrategy:
+            results = preset_engine.top_k(
+                keywords, k=k, eps=0.0005, weighted=weighted,
+                strategy=strategy)
+            assert results == reference, strategy
+    finally:
+        contracts.enable_contracts(previous)
+
+
 @given(network=random_networks(), pois=random_pois(max_size=20))
 @settings(max_examples=30)
 def test_weighted_soi_equals_weighted_bruteforce(network, pois):

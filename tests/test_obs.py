@@ -227,6 +227,20 @@ def test_registry_merge_is_order_independent():
     assert merged["histograms"]["serve.request_s"]["count"] == 12
 
 
+def test_record_serve_batch_counts_grouped_requests():
+    from repro.obs.metrics import record_serve_batch
+
+    registry = MetricsRegistry()
+    record_serve_batch(4, 2, registry=registry)  # 2 rode a shared group
+    record_serve_batch(3, 3, registry=registry)  # all distinct: no grouping
+    record_serve_batch(1, 1, registry=registry)
+    assert registry.counter("serve.batches") == 3
+    assert registry.counter("serve.batch_grouped") == 2
+    hist = registry.histogram("serve.batch_size")
+    assert hist is not None
+    assert hist.count == 3 and hist.sum == 8.0
+
+
 def test_registry_counter_and_gauge_api():
     registry = MetricsRegistry()
     registry.inc_many({"a": 2, "b": 3}, prefix="soi.")

@@ -124,3 +124,33 @@ def test_server_aggregates_worker_metrics(small_engine):
     hist = merged.histogram("serve.request_s")
     assert hist is not None and hist.count == len(requests)
     assert dump["counters"]["serve.requests"] == len(requests)
+
+
+def test_micro_batching_is_payload_identical(small_engine):
+    """Batched workers group same-signature requests onto one session;
+    the payloads must not change by a single bit."""
+    requests = [SOIRequest(keywords=("food",), k=5),
+                SOIRequest(keywords=("shop",), k=5),
+                SOIRequest(keywords=("food",), k=10),
+                SOIRequest(keywords=("food",), k=5),
+                SOIRequest(keywords=("shop",), k=3),
+                SOIRequest(keywords=("food", "shop"), k=5)]
+    expected = [serve_request(small_engine, None, request)
+                for request in requests]
+    with EngineServer.for_engine(small_engine, workers=1,
+                                 micro_batch=4) as server:
+        assert server.micro_batch == 4
+        payloads = server.run(requests)
+        merged = server.metrics()
+    assert payloads == expected
+    # With one worker the drain loop must have batched at least once
+    # (six requests, batch cap four => at least two loop turns).
+    assert 2 <= merged.counter("serve.batches") <= len(requests)
+    hist = merged.histogram("serve.batch_size")
+    assert hist is not None and hist.sum == len(requests)
+
+
+def test_micro_batch_validation():
+    # The guard fires before the snapshot is touched or workers spawn.
+    with pytest.raises(ValueError):
+        EngineServer(None, workers=1, micro_batch=0)

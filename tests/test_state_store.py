@@ -1,0 +1,227 @@
+"""The flat segment-state store and the incremental top-k threshold.
+
+Two contracts are exercised here, both bitwise:
+
+* :class:`~repro.core.state_store.TopKThreshold` must return exactly the
+  float ``heapq.nlargest(k, values)[-1]`` would, after any interleaving
+  of per-key updates (values per key only ever improve — the SOI lower
+  bounds are monotone).
+* The store-backed filter phase (``use_store=True``, the default) must
+  match the scalar dict-state path result-for-result *and*
+  counter-for-counter: the store is a data-layout change, not an
+  algorithmic one.
+
+The whole module runs twice — plain and with the runtime invariant
+contracts enabled (``REPRO_CHECK=1`` semantics) — via the autouse
+fixture, mirroring ``test_perf_equivalence``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import contracts
+from repro.core.soi import AccessStrategy, SOIEngine
+from repro.core.soi_baseline import BaselineSOI
+from repro.core.state_store import TopKThreshold
+
+from tests.conftest import KEYWORD_POOL, random_networks, random_pois
+
+EPS = 0.0005
+
+
+@pytest.fixture(params=[False, True], ids=["plain", "contracts"],
+                autouse=True)
+def _maybe_contracts(request):
+    """Run every test in this module with contracts off and on."""
+    previous = contracts.ENABLED
+    if request.param:
+        contracts.enable_contracts()
+    try:
+        yield
+    finally:
+        contracts.enable_contracts(previous)
+
+
+queries = st.sets(st.sampled_from(KEYWORD_POOL), min_size=1, max_size=3)
+
+
+# -- TopKThreshold -----------------------------------------------------------
+
+def test_topk_threshold_none_below_k_keys():
+    topk = TopKThreshold(3)
+    assert topk.current() is None
+    assert topk.update(1, 0.5)
+    assert topk.update(2, 0.25)
+    assert topk.current() is None  # two distinct keys < k
+    assert topk.update(1, 0.75)    # improving key 1 adds no third key
+    assert topk.current() is None
+    assert topk.update(3, 0.1)
+    assert topk.current() == 0.1
+
+
+def test_topk_threshold_rejects_non_improving_updates():
+    topk = TopKThreshold(1)
+    assert topk.update(7, 1.0)
+    assert not topk.update(7, 1.0)   # equal: not an improvement
+    assert not topk.update(7, 0.5)   # smaller: ignored entirely
+    assert topk.current() == 1.0
+    assert len(topk) == 1
+
+
+def test_topk_threshold_requires_positive_k():
+    with pytest.raises(ValueError):
+        TopKThreshold(0)
+
+
+@given(k=st.integers(min_value=1, max_value=6),
+       updates=st.lists(
+           st.tuples(st.integers(min_value=0, max_value=12),
+                     st.floats(min_value=0.0, max_value=100.0,
+                               allow_nan=False)),
+           max_size=120))
+@settings(max_examples=120)
+def test_topk_threshold_matches_nlargest_reference(k, updates):
+    """After every update, ``current()`` == the nlargest rescan result."""
+    topk = TopKThreshold(k)
+    best: dict[int, float] = {}
+    for key, value in updates:
+        improved = value > best.get(key, 0.0)
+        assert topk.update(key, value) is improved
+        if improved:
+            best[key] = value
+        if len(best) < k:
+            assert topk.current() is None
+        else:
+            assert topk.current() == heapq.nlargest(k, best.values())[-1]
+    assert len(topk) == len(best)
+
+
+def test_topk_threshold_compaction_stays_exact():
+    """Many improvements to few keys force the lazy-heap compaction."""
+    k = 2
+    topk = TopKThreshold(k)
+    best: dict[int, float] = {}
+    for step in range(1, 800):
+        key = step % 3
+        value = float(step)
+        topk.update(key, value)
+        best[key] = max(best.get(key, 0.0), value)
+        if len(best) >= k:
+            assert topk.current() == heapq.nlargest(k, best.values())[-1]
+    assert len(topk._heap) <= 4 * k + 64  # the compaction bound held
+
+
+# -- store path == scalar path ----------------------------------------------
+
+@given(network=random_networks(), pois=random_pois(min_size=1),
+       keywords=queries, k=st.integers(min_value=1, max_value=5),
+       weighted=st.booleans())
+@settings(max_examples=40)
+def test_store_results_and_counters_match_scalar(network, pois, keywords,
+                                                 k, weighted):
+    """Sessionless: store and scalar paths agree on results AND counters."""
+    scalar_engine = SOIEngine(network, pois)
+    store_engine = SOIEngine(network, pois)
+    scalar, scalar_stats = scalar_engine.top_k_with_stats(
+        keywords, k=k, eps=EPS, weighted=weighted,
+        use_session=False, use_store=False)
+    store, store_stats = store_engine.top_k_with_stats(
+        keywords, k=k, eps=EPS, weighted=weighted,
+        use_session=False, use_store=True)
+    assert store == scalar
+    assert store_stats.counters() == scalar_stats.counters()
+
+
+@given(network=random_networks(), pois=random_pois(min_size=1),
+       keywords=queries)
+@settings(max_examples=25)
+def test_store_session_sweep_matches_scalar_sessions(network, pois,
+                                                     keywords):
+    """Warm-session k-sweeps: separate engines so each path owns its
+    session state; counters must then be identical query-for-query."""
+    scalar_engine = SOIEngine(network, pois)
+    store_engine = SOIEngine(network, pois)
+    for strategy in AccessStrategy:
+        for k in (1, 3, 5):
+            scalar, scalar_stats = scalar_engine.top_k_with_stats(
+                keywords, k=k, eps=EPS, strategy=strategy, use_store=False)
+            store, store_stats = store_engine.top_k_with_stats(
+                keywords, k=k, eps=EPS, strategy=strategy, use_store=True)
+            assert store == scalar
+            scalar_counters = scalar_stats.counters()
+            store_counters = store_stats.counters()
+            # ``store_reused`` is the one path-specific counter: warm
+            # store queries recycle pooled columns, the scalar path has
+            # no store to recycle.  Everything else must match.
+            scalar_counters.pop("store_reused", None)
+            store_counters.pop("store_reused", None)
+            assert store_counters == scalar_counters, (strategy, k)
+
+
+@given(network=random_networks(), pois=random_pois(min_size=1),
+       keywords=queries)
+@settings(max_examples=25)
+def test_baseline_store_matches_dict_memo(network, pois, keywords):
+    """BL's slot-column scan == its dict-memo scan, cold and warm."""
+    dict_engine = SOIEngine(network, pois)
+    store_engine = SOIEngine(network, pois)
+    expected = BaselineSOI(dict_engine).all_segment_interests(
+        keywords, eps=EPS, use_store=False)
+    baseline = BaselineSOI(store_engine)
+    assert baseline.all_segment_interests(
+        keywords, eps=EPS, use_store=True) == expected
+    # Warm rerun: every slot is memoised, the fast path must not reorder
+    # the accumulation.
+    assert baseline.all_segment_interests(
+        keywords, eps=EPS, use_store=True) == expected
+
+
+# -- session-pooled store reuse ----------------------------------------------
+
+def test_warm_session_reuses_state_store(small_engine):
+    engine = small_engine
+    engine.invalidate_sessions()
+    _res, cold = engine.top_k_with_stats(["food"], k=5, eps=EPS)
+    _res, warm = engine.top_k_with_stats(["food"], k=5, eps=EPS)
+    assert not cold.store_reused
+    assert warm.store_reused
+    session = engine.sessions.get(frozenset({"food"}))
+    assert session is not None and session.store_reuses >= 1
+
+
+def test_scalar_path_never_marks_store_reuse(small_engine):
+    engine = small_engine
+    engine.invalidate_sessions()
+    for _ in range(2):
+        _res, stats = engine.top_k_with_stats(["food"], k=5, eps=EPS,
+                                              use_store=False)
+        assert not stats.store_reused
+
+
+# -- counter budgets ---------------------------------------------------------
+
+@given(network=random_networks(), pois=random_pois(min_size=1),
+       keywords=queries, k=st.integers(min_value=1, max_value=5))
+@settings(max_examples=25)
+def test_termination_check_budget(network, pois, keywords, k):
+    """The LBk >= UB check runs at most once per _CHECK_EVERY iterations
+    (plus the final top-of-loop check), never per-iteration."""
+    engine = SOIEngine(network, pois)
+    _res, stats = engine.top_k_with_stats(keywords, k=k, eps=EPS)
+    assert stats.termination_checks <= stats.iterations // 4 + 2
+
+
+@given(network=random_networks(), pois=random_pois(min_size=1),
+       keywords=queries, k=st.integers(min_value=1, max_value=5))
+@settings(max_examples=25)
+def test_lbk_heap_update_budget(network, pois, keywords, k):
+    """Heap updates happen only on strict per-street improvements, which
+    a cell visit or a finalisation can produce at most once each."""
+    engine = SOIEngine(network, pois)
+    _res, stats = engine.top_k_with_stats(keywords, k=k, eps=EPS)
+    budget = stats.cell_visits + stats.segments_seen + stats.refinement_finalized
+    assert stats.lbk_heap_updates <= budget

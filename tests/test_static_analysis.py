@@ -333,6 +333,58 @@ def test_p402_membership_outside_loop_is_fine():
     assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
 
 
+def test_p404_flags_nlargest_in_loop_body():
+    src = ("import heapq\n"
+           "def lbk(groups, k):\n"
+           "    for values in groups:\n"
+           "        top = heapq.nlargest(k, values)\n"
+           "        use(top)\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P404"]
+    assert "loop at line 3" in findings[0].message
+
+
+def test_p404_flags_from_import_alias_and_nsmallest():
+    src = ("from heapq import nlargest, nsmallest as smallest\n"
+           "def f(groups, k):\n"
+           "    out = []\n"
+           "    for values in groups:\n"
+           "        out.append(nlargest(k, values))\n"
+           "        out.append(smallest(k, values))\n"
+           "    return out\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P404", "REP-P404"]
+
+
+def test_p404_accepts_hoisted_calls_and_incremental_heaps():
+    src = ("import heapq\n"
+           "def f(values, items, k):\n"
+           "    top = heapq.nlargest(k, values)\n"  # once, outside any loop
+           "    heap = []\n"
+           "    for x in items:\n"
+           "        heapq.heappush(heap, x)\n"  # incremental: the fix
+           "        if len(heap) > k:\n"
+           "            heapq.heappop(heap)\n"
+           "    return top, heap\n")
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+
+
+def test_p404_stops_at_function_boundaries_and_checked_dirs():
+    nested = ("import heapq\n"
+              "def f(groups, k):\n"
+              "    for group in groups:\n"
+              "        def summarise(values):\n"
+              "            return heapq.nlargest(k, values)\n"
+              "        use(group, summarise)\n")
+    assert lint_source(nested, relpath="repro/core/x.py", config=CONFIG) == []
+    unchecked = ("import heapq\n"
+                 "def f(groups, k):\n"
+                 "    for values in groups:\n"
+                 "        use(heapq.nlargest(k, values))\n")
+    assert lint_source(unchecked, relpath="repro/eval/x.py",
+                       config=CONFIG) == []
+
+
 def test_p403_flags_module_level_empty_containers():
     src = ("from collections import OrderedDict, defaultdict\n"
            "_SL2_CACHE = {}\n"
