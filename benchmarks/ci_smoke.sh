@@ -1,10 +1,11 @@
 #!/bin/sh
-# CI smoke gate: lint, full test suite, then a one-repeat SOI latency
-# sweep compared against the committed baseline with a loose tolerance
-# (0.35 absorbs shared-runner noise; the committed BENCH_soi.json is the
-# reference medians file at the repo root).  The bench warms the session
-# caches before timing, and the comparator's built-in 5ms noise floor
-# keeps single-sample millisecond leaves from flaking the gate.
+# CI smoke gate: lint, full test suite, then latency sweeps compared
+# against the committed baselines at the repo root with loose
+# tolerances (sized to absorb shared-runner noise while still tripping
+# on the 2x+ regressions the gates exist for).  The benches warm the
+# session caches before timing, quiesce the garbage collector around
+# the timed repeats, and the comparator's built-in 5ms noise floor
+# keeps millisecond leaves from flaking the gate.
 #
 # Run from anywhere:  sh benchmarks/ci_smoke.sh
 #
@@ -26,11 +27,32 @@ trap 'rm -rf "$SCRATCH"' EXIT INT TERM
 # handles there).
 python -m repro lint src/repro tests benchmarks
 python -m pytest -x -q
-python -m repro bench --mode soi --repeats 1 \
-    --check-against BENCH_soi.json --tolerance 0.35 \
+# The committed baselines are GC-quiesced medians of three, so a
+# single-repeat sample flakes against them on scheduler jitter alone:
+# gate on medians of three as well, at a tolerance sized for the
+# regressions that matter (losing a session cache or an index fast
+# path shows up as 2x+ on these leaves).
+python -m repro bench --mode soi --repeats 3 \
+    --check-against BENCH_soi.json --tolerance 0.75 \
     --out "$SCRATCH"
-python -m repro bench --mode describe --repeats 1 \
-    --check-against BENCH_describe.json --tolerance 0.35 \
+# Describe leaves are 10-30 ms medians, small enough that scheduler
+# jitter alone reaches ~1.4x on a busy runner: take medians of three
+# (the timed loops are milliseconds; city construction dominates the
+# step either way) and loosen the tolerance — describer regressions
+# worth gating on (losing the heap selection, re-sorting per k) are 2x+.
+python -m repro bench --mode describe --repeats 3 \
+    --check-against BENCH_describe.json --tolerance 0.75 \
+    --out "$SCRATCH"
+# Cold-path build gate: engine construction, eps-augmentation (fresh /
+# filter / delta), store layout, snapshot export/attach.  Speedup and
+# scalar-ablation keys in the baseline are informational; the comparator
+# gates only the *_median_s leaves.  Unlike the query benches these
+# timings are deliberately UNWARMED one-shots, so run-to-run variance on
+# shared runners is large; the loose tolerance still trips on the
+# regressions that matter (falling back to the scalar builders is a
+# 4-15x slowdown on these phases).
+python -m repro bench --mode build --repeats 1 \
+    --check-against BENCH_build.json --tolerance 1.5 \
     --out "$SCRATCH"
 
 echo "ci_smoke: OK"

@@ -48,6 +48,12 @@ class LintConfig:
     # Packages whose timing/telemetry must flow through repro.obs
     # (REP-O501/O502); repro.obs itself is exempt by construction.
     obs_checked_dirs: tuple[str, ...] = ("core", "serve")
+    # Where scalar geometry kernels in loop bodies are a perf hazard
+    # (REP-P405): the vectorised cold-path builders under index/ plus the
+    # store-layout pass.  ``geometry_checked_files`` lists individual
+    # package-relative files outside those directories.
+    geometry_checked_dirs: tuple[str, ...] = ("index",)
+    geometry_checked_files: tuple[str, ...] = ("core/state_store.py",)
     assume_positive: tuple[str, ...] = ("buffer_area", "buffer_col", "max_d")
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})

@@ -212,6 +212,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         HeapRescanInLoopRule,
         ListMembershipInLoopRule,
         ModuleLevelMutableCacheRule,
+        ScalarGeometryInLoopRule,
         SortedInLoopRule,
     )
 
@@ -229,6 +230,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         SortedInLoopRule(),
         ListMembershipInLoopRule(),
         HeapRescanInLoopRule(),
+        ScalarGeometryInLoopRule(),
         ModuleLevelMutableCacheRule(),
         DirectTimerRule(),
         HandRolledCounterRule(),

@@ -25,6 +25,17 @@ iteration.
   :class:`repro.core.state_store.TopKThreshold`, which replaced exactly
   this pattern in the filter phase's LB_k computation).
 
+* **REP-P405** — a scalar geometry kernel
+  (``point_segment_distance``/``segment_bbox_mindist``/
+  ``segment_segment_distance``) inside a loop body on the vectorised
+  cold path (``geometry-checked-dirs``, plus the individual files in
+  ``geometry-checked-files``) pays Python-level call overhead per
+  candidate; batch the candidates and call
+  :func:`repro.geometry.distance.segments_bbox_mindist_batched` (or the
+  CSR machinery in :mod:`repro.index.cell_maps`) once.  Scalar
+  reference loops kept for ablation/``REPRO_CHECK`` cross-validation
+  carry a ``# repro-lint: disable=REP-P405 (reason)`` comment.
+
 A further rule guards the multiprocess serving path
 (``serve-checked-dirs``, defaulting to the import closure of
 ``repro.serve.server`` workers):
@@ -186,6 +197,43 @@ class HeapRescanInLoopRule(Rule):
                     f"{loop.lineno})")
 
 
+_SCALAR_GEOMETRY_CALLS = frozenset({
+    "repro.geometry.distance.point_segment_distance",
+    "repro.geometry.distance.segment_bbox_mindist",
+    "repro.geometry.distance.segment_segment_distance",
+})
+
+
+class ScalarGeometryInLoopRule(Rule):
+    id = "REP-P405"
+    name = "scalar-geometry-in-loop"
+    hint = ("batch the candidate pairs and call "
+            "repro.geometry.distance.segments_bbox_mindist_batched (or "
+            "the CSR builders in repro.index.cell_maps) once; keep any "
+            "scalar reference loop behind a suppression comment with a "
+            "reason")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = ctx.config
+        if not (ctx.in_dirs(config.geometry_checked_dirs)
+                or "/".join(ctx.package_parts)
+                in config.geometry_checked_files):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.canonical_call_name(node.func)
+            if dotted not in _SCALAR_GEOMETRY_CALLS:
+                continue
+            loop = _enclosing_loop_body(ctx, node)
+            if loop is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"scalar kernel {dotted}() inside a loop body pays "
+                    "per-candidate Python call overhead on the vectorised "
+                    f"cold path (loop at line {loop.lineno})")
+
+
 _EMPTY_MUTABLE_CALLS = frozenset({
     "dict", "list", "set",
     "collections.OrderedDict", "collections.Counter", "collections.deque",
@@ -260,4 +308,5 @@ class ModuleLevelMutableCacheRule(Rule):
 
 
 __all__ = ["HeapRescanInLoopRule", "ListMembershipInLoopRule",
-           "ModuleLevelMutableCacheRule", "SortedInLoopRule"]
+           "ModuleLevelMutableCacheRule", "ScalarGeometryInLoopRule",
+           "SortedInLoopRule"]

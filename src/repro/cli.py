@@ -116,10 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "process pool and appends QPS/latency records to "
                     "BENCH_serve.json.")
     bench.add_argument("--mode",
-                       choices=("latency", "throughput", "soi", "describe"),
+                       choices=("latency", "throughput", "build",
+                                "soi", "describe"),
                        default="latency",
                        help="latency: sequential Figure 4/6 suites; "
                             "throughput: multiprocess EngineServer replay; "
+                            "build: cold-path index construction timings "
+                            "(BENCH_build.json); "
                             "soi / describe: shorthand for --mode latency "
                             "--suite soi / describe")
     bench.add_argument("--suite", choices=("soi", "describe", "all"),
@@ -363,7 +366,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
     produced: dict[str, dict] = {}
-    if args.mode == "throughput":
+    if args.mode == "build":
+        report = bench.bench_build(
+            cities, repeats=args.repeats or 3, scale=args.scale,
+            jobs=args.jobs)
+        path = args.out / bench.BUILD_REPORT
+        bench.write_report(report, path)
+        produced["build"] = report
+        written.append(path)
+        for name, entry in report["cities"].items():
+            line = (f"{name}: cold start "
+                    f"{entry['cold_start_median_s']*1e3:.1f} ms, "
+                    f"filter augment "
+                    f"{entry['augment_filter_median_s']*1e3:.2f} ms")
+            speedups = entry.get("speedups")
+            if speedups:
+                line += (f" ({speedups['cold_start_speedup']:.1f}x vs "
+                         f"scalar, incremental "
+                         f"{speedups['incremental_augment_speedup']:.1f}x)")
+            print(line)
+    elif args.mode == "throughput":
         run = bench.bench_throughput(
             cities, workers=args.workers, concurrency=args.concurrency,
             queries=args.queries, seed=args.seed, scale=args.scale,

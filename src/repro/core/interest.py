@@ -78,11 +78,14 @@ class RelevantCellCache:
     _EMPTY = (np.empty(0, dtype=np.intp), np.empty(0), np.empty(0),
               np.empty(0))
 
+    _MASK_UNSET = object()
+
     def __init__(self, poi_index: POIGridIndex, keywords: frozenset[str]) -> None:
         self._poi_index = poi_index
         self._keywords = keywords
         self._cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray,
                                                  np.ndarray, np.ndarray]] = {}
+        self._mask = self._MASK_UNSET
         self.hits = 0
         self.misses = 0
 
@@ -103,6 +106,23 @@ class RelevantCellCache:
 
     def _materialise(self, cell: tuple[int, int]):
         """First-visit gather of a cell's relevant POI arrays."""
+        mask = self._mask
+        if mask is self._MASK_UNSET:
+            mask = self._poi_index.relevant_position_mask(self._keywords)
+            self._mask = mask
+        if mask is not None:
+            # Vectorised index: the cell's position array is ascending
+            # and duplicate-free, so masking it yields exactly the
+            # sorted deduplicated merge of the matching postings.
+            cell_positions = self._poi_index.cell_positions(cell)
+            if cell_positions.size == 0:
+                return self._EMPTY
+            positions = cell_positions[mask[cell_positions]]
+            if positions.size == 0:
+                return self._EMPTY
+            pois = self._poi_index.pois
+            return (positions, pois.xs[positions], pois.ys[positions],
+                    pois.weights[positions])
         inverted = self._poi_index.cell_inverted(cell)
         if inverted is None or not any(
                 inverted.count(k) for k in self._keywords):

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+import numpy as np
+
 from repro.analysis import contracts
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs_tracer
@@ -120,6 +122,11 @@ class SOIEngine:
         How far beyond the joint network/POI MBR the grid extends, so that
         ``eps``-buffers near the border stay inside the grid.  Defaults to
         ``4 * cell_size``.
+    vectorized_build:
+        Build the cold-path index structures (POI bucketing, segment/cell
+        maps) through the batched NumPy kernels (the default).  The scalar
+        construction path is kept behind ``False`` for ablation; both
+        produce bit-identical structures.
     """
 
     def __init__(
@@ -129,6 +136,7 @@ class SOIEngine:
         cell_size: float | None = None,
         extent_margin: float | None = None,
         session_pool_size: int | None = None,
+        vectorized_build: bool = True,
     ) -> None:
         from repro.perf.session import DEFAULT_MAX_SESSIONS, QuerySessionPool
 
@@ -136,6 +144,7 @@ class SOIEngine:
         self.pois = pois
         self._cell_size = cell_size
         self._extent_margin = extent_margin
+        self.vectorized_build = vectorized_build
         self.index_generation = 0
         self._build_indexes()
         self.sessions = QuerySessionPool(
@@ -173,6 +182,7 @@ class SOIEngine:
         engine.pois = pois
         engine._cell_size = poi_index.grid.cell_size
         engine._extent_margin = None
+        engine.vectorized_build = getattr(cell_maps, "vectorized", True)
         engine.index_generation = index_generation
         engine.extent = extent
         engine.poi_index = poi_index
@@ -204,9 +214,13 @@ class SOIEngine:
                      float(pois.xs.max()), float(pois.ys.max())))
         self.extent = extent.expanded(extent_margin)
         with trace_span("index.poi_grid"):
-            self.poi_index = POIGridIndex(pois, self.extent, cell_size)
+            self.poi_index = POIGridIndex(
+                pois, self.extent, cell_size,
+                vectorized=self.vectorized_build)
         with trace_span("index.cell_maps"):
-            self.cell_maps = SegmentCellMaps(network, self.poi_index.grid)
+            self.cell_maps = SegmentCellMaps(
+                network, self.poi_index.grid,
+                vectorized=self.vectorized_build)
         self._max_weight = float(pois.weights.max()) if len(pois) else 0.0
         # SL3 order (length ascending) is query-independent; SL2 order
         # depends only on eps, so it is cached per eps value.
@@ -257,12 +271,29 @@ class SOIEngine:
         """Sorted SL2 entries and the adaptive-SL2 threshold, per eps."""
         cached = self._sl2_cache.get(eps)
         if cached is None:
-            cell_counts = self.cell_maps.augmented_cell_counts(eps)
-            entries = tuple(sorted(
-                ((sid, float(count)) for sid, count in cell_counts.items()),
-                key=lambda e: (-e[1], e[0])))
-            counts = sorted(cell_counts.values())
-            median = counts[len(counts) // 2] if counts else 0.0
+            counts_col = getattr(
+                self.cell_maps, "augmented_cell_counts_column", None)
+            if counts_col is not None:
+                # Column path: one lexsort over the cached per-eps count
+                # column instead of materialising the legacy dict.  The
+                # (-count, sid) sort key and the low-median threshold
+                # match the dict path value for value.
+                col = counts_col(eps)
+                sids = self.cell_maps.segment_ids_column
+                order = np.lexsort((sids, -col))
+                entries = tuple(
+                    (int(sids[pos]), float(col[pos]))
+                    for pos in order.tolist())
+                n = int(col.shape[0])
+                median = int(np.sort(col)[n // 2]) if n else 0.0
+            else:
+                cell_counts = self.cell_maps.augmented_cell_counts(eps)
+                entries = tuple(sorted(
+                    ((sid, float(count))
+                     for sid, count in cell_counts.items()),
+                    key=lambda e: (-e[1], e[0])))
+                counts = sorted(cell_counts.values())
+                median = counts[len(counts) // 2] if counts else 0.0
             cached = (entries, 1.5 * median)
             self._sl2_cache[eps] = cached
         return cached

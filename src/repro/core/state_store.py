@@ -187,6 +187,65 @@ class StoreLayout:
         self.lengths_list = self.lengths.tolist()
         self.buffer_list = self.buffer_col.tolist()
 
+        ids_col = getattr(cell_maps, "segment_ids_column", None)
+        if ids_col is not None and np.array_equal(ids_col, self.seg_ids):
+            # The cell maps' CSR rows are already in dense (builder) order;
+            # derive the slot geometry from the flat pair arrays instead of
+            # re-walking Python dicts.
+            offsets, flat_i, flat_j = cell_maps.augmented_csr(eps)
+            self._init_cells_from_csr(cell_maps.grid.ny, offsets,
+                                      flat_i, flat_j)
+        else:
+            self._init_cells_from_walk(segments, cell_maps, eps)
+
+    def _init_cells_from_csr(self, ny: int, offsets: np.ndarray,
+                             flat_i: np.ndarray,
+                             flat_j: np.ndarray) -> None:
+        """Slot geometry from flat CSR pair columns, bit-identical to the
+        dict walk: cells numbered by first appearance in the slot stream,
+        ``by_cell`` groups ascending in slot (= dense segment) order."""
+        n = self.num_segments
+        lin = flat_i * np.int64(ny) + flat_j
+        uniq, first_idx, inverse = np.unique(
+            lin, return_index=True, return_inverse=True)
+        num_cells = int(uniq.shape[0])
+        rank = np.argsort(first_idx, kind="stable")
+        inv_rank = np.empty(num_cells, dtype=np.int64)
+        inv_rank[rank] = np.arange(num_cells, dtype=np.int64)
+        slot_cell = inv_rank[inverse.reshape(-1)]
+        cells: list["CellCoord"] = [
+            (int(key) // ny, int(key) % ny) for key in uniq[rank].tolist()]  # repro-lint: disable=REP-N202 (ny is a grid dimension, >= 1 by UniformGrid construction)
+        seg_col = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+        slot_order = np.argsort(slot_cell, kind="stable")
+        group_offsets = np.zeros(num_cells + 1, dtype=np.int64)
+        np.cumsum(np.bincount(slot_cell, minlength=num_cells),
+                  out=group_offsets[1:])
+        self.num_slots = int(lin.shape[0])
+        self.num_cells = num_cells
+        self.cells = cells
+        self.cell_index = {cell: pos for pos, cell in enumerate(cells)}
+        self.slot_offsets = np.asarray(offsets, dtype=np.int64)
+        self.slot_cell = slot_cell
+        self.slot_cells = [cells[pos] for pos in slot_cell.tolist()]
+        self.cell_counts = np.diff(self.slot_offsets)
+        self.cell_counts_list = self.cell_counts.tolist()
+        # Per cell: (segments, slots) in segments_of_cell order.  Kept as
+        # Python lists — the groups are tiny (a street grid's cell
+        # overlaps a handful of segments), so the filter walks them
+        # element-wise.
+        bounds = group_offsets.tolist()
+        segs_sorted = seg_col[slot_order].tolist()
+        slots_sorted = slot_order.tolist()
+        self.by_cell = {
+            cells[pos]: (segs_sorted[bounds[pos]:bounds[pos + 1]],
+                         slots_sorted[bounds[pos]:bounds[pos + 1]])
+            for pos in range(num_cells)}
+
+    def _init_cells_from_walk(self, segments: "list[Segment]",
+                              cell_maps: "SegmentCellMaps",
+                              eps: float) -> None:
+        """The original per-segment dict walk (attach-compat fallback)."""
+        n = self.num_segments
         cell_index: dict["CellCoord", int] = {}
         cells: list["CellCoord"] = []
         slot_cell: list[int] = []
@@ -215,10 +274,7 @@ class StoreLayout:
         self.slot_cells = [cells[pos] for pos in slot_cell]
         self.cell_counts = np.diff(offsets)
         self.cell_counts_list = self.cell_counts.tolist()
-        # Per cell: (segments, slots) in segments_of_cell order.  Kept as
-        # Python lists — the groups are tiny (a street grid's cell
-        # overlaps a handful of segments), so the filter walks them
-        # element-wise.
+        # Per cell: (segments, slots) in segments_of_cell order.
         self.by_cell = {
             cells[pos]: (by_cell_segs[pos], by_cell_slots[pos])
             for pos in range(len(cells))}

@@ -9,49 +9,139 @@ within distance ``eps``:
   (so every POI within ``eps`` of ``l`` lies in one of them);
 * ``L_eps(c)``: all segments within ``eps`` of cell ``c`` (the inverse map).
 
-Augmented maps are cached per ``eps`` value, since an interactive system
-serves many queries with the same threshold.
+Construction is array-native: every segment's ``eps``-expanded MBR is
+rasterised into a candidate cell window with one vectorised floor-divide,
+the windows are packed as a CSR candidate list, and a single
+:func:`~repro.geometry.distance.segments_bbox_mindist_batched` call
+confirms the exact Section 3.2.1 predicate for all pairs at once — bit
+for bit the same accept/reject decisions as the scalar kernel loop, which
+is kept behind ``vectorized=False`` for ablation.
+
+Augmentation is also *incremental* across ``eps`` values: the confirmed
+exact min-distance of every candidate pair is cached up to the largest
+``eps`` seen, so a later smaller ``eps`` is a pure threshold filter over
+the cached distance column (no geometry at all) and a larger ``eps``
+computes distances only for the candidate-ring delta outside the cached
+windows.  Confirmed maps are cached per ``eps`` value, since an
+interactive system serves many queries with the same threshold; the
+legacy dict views are materialised lazily from the CSR on first access.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Mapping, Sequence
 
-from repro.geometry.distance import segment_bbox_mindist
+import numpy as np
+
+from repro.analysis import contracts
+from repro.geometry.distance import (
+    segment_bbox_mindist,
+    segments_bbox_mindist_batched,
+)
+from repro.index.csr import counts_to_offsets, first_appearance_groups
 from repro.index.grid import CellCoord, UniformGrid
 from repro.network.model import RoadNetwork
+from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import trace_span
+
+_KERNEL_CHUNK = 1 << 18
+"""Rows per batched-kernel call: bounds the ~20 float64 temporaries the
+kernel allocates to tens of MB regardless of candidate count.  Chunking
+cannot affect values — the kernel is elementwise."""
+
+_CHECK_SAMPLE = 33
+"""Segments re-verified against the scalar kernel under ``REPRO_CHECK=1``."""
+
+
+class _AugmentCache:
+    """Exact distances for every candidate cell at the largest ``eps`` seen.
+
+    One row per (segment, window cell) pair, segment-major with cells in
+    row-major window order; ``dist`` holds the exact
+    :func:`segment_bbox_mindist` value for the pair.  ``i0/j0/i1/j1`` are
+    the per-segment window bounds the rows enumerate.
+    """
+
+    __slots__ = ("eps", "i0", "j0", "i1", "j1", "offsets", "seg", "ii",
+                 "jj", "dist")
+
+    def __init__(self, eps: float, i0: np.ndarray, j0: np.ndarray,
+                 i1: np.ndarray, j1: np.ndarray, offsets: np.ndarray,
+                 seg: np.ndarray, ii: np.ndarray, jj: np.ndarray,
+                 dist: np.ndarray) -> None:
+        self.eps = eps
+        self.i0 = i0
+        self.j0 = j0
+        self.i1 = i1
+        self.j1 = j1
+        self.offsets = offsets
+        self.seg = seg
+        self.ii = ii
+        self.jj = jj
+        self.dist = dist
+
+
+class _AugmentedEps:
+    """Confirmed ``C_eps`` pairs for one ``eps``, as CSR over segments."""
+
+    __slots__ = ("offsets", "ii", "jj", "counts")
+
+    def __init__(self, offsets: np.ndarray, ii: np.ndarray, jj: np.ndarray,
+                 counts: np.ndarray) -> None:
+        self.offsets = offsets
+        self.ii = ii
+        self.jj = jj
+        self.counts = counts
 
 
 class SegmentCellMaps:
     """Base and ``eps``-augmented segment/cell adjacency for a network."""
 
-    def __init__(self, network: RoadNetwork, grid: UniformGrid) -> None:
+    def __init__(self, network: RoadNetwork, grid: UniformGrid,
+                 vectorized: bool = True) -> None:
         self.network = network
         self.grid = grid
-        self._base_segment_to_cells: dict[int, tuple[CellCoord, ...]] = {}
-        base_cell_to_segments: dict[CellCoord, list[int]] = defaultdict(list)
-        for seg in network.iter_segments():
-            cells = self._cells_within(seg.ax, seg.ay, seg.bx, seg.by, 0.0)
-            self._base_segment_to_cells[seg.id] = cells
-            for cell in cells:
-                base_cell_to_segments[cell].append(seg.id)
-        self._base_cell_to_segments: dict[CellCoord, tuple[int, ...]] = {
-            cell: tuple(sids) for cell, sids in base_cell_to_segments.items()}
-        self._augmented: dict[float, tuple[
-            dict[int, tuple[CellCoord, ...]],
-            dict[CellCoord, tuple[int, ...]]]] = {}
+        self.vectorized = bool(vectorized)
+        self._init_columns(
+            [(seg.id, seg.ax, seg.ay, seg.bx, seg.by)
+             for seg in network.iter_segments()])
+        self._aug_csr: dict[float, _AugmentedEps] = {}
+        self._cache: _AugmentCache | None = None
+        self._seg_maps: dict[float, dict[int, tuple[CellCoord, ...]]] = {}
+        self._inv_maps: dict[float, dict[CellCoord, tuple[int, ...]]] = {}
+        self._count_maps: dict[float, dict[int, int]] = {}
+        # The offline base maps (Section 3.2.1) in CSR form; the legacy
+        # dict views materialise lazily on first access.
+        self._augment(0.0)
+
+    def _init_columns(
+        self, rows: list[tuple[int, float, float, float, float]]
+    ) -> None:
+        """Bind the flat segment-endpoint columns the builders operate on."""
+        self._n = len(rows)
+        self._seg_id_list = [row[0] for row in rows]
+        self._seg_ids = np.array(self._seg_id_list, dtype=np.int64)
+        self._seg_pos = {sid: pos for pos, sid in
+                         enumerate(self._seg_id_list)}
+        self._ax = np.array([row[1] for row in rows], dtype=np.float64)
+        self._ay = np.array([row[2] for row in rows], dtype=np.float64)
+        self._bx = np.array([row[3] for row in rows], dtype=np.float64)
+        self._by = np.array([row[4] for row in rows], dtype=np.float64)
+        # Segment MBRs, exactly BBox.of_segment's min/max pairs.
+        self._mbr_min_x = np.minimum(self._ax, self._bx)
+        self._mbr_min_y = np.minimum(self._ay, self._by)
+        self._mbr_max_x = np.maximum(self._ax, self._bx)
+        self._mbr_max_y = np.maximum(self._ay, self._by)
 
     # -- base maps (eps = 0) --------------------------------------------------
 
     def base_cells_of_segment(self, segment_id: int) -> Sequence[CellCoord]:
         """Cells the segment intersects (the offline map)."""
-        return self._base_segment_to_cells[segment_id]
+        return self.cells_of_segment(segment_id, 0.0)
 
     def base_segments_of_cell(self, cell: CellCoord) -> Sequence[int]:
         """Segments intersecting the cell (the offline inverse map)."""
-        return self._base_cell_to_segments.get(cell, ())
+        return self._inverse_map(0.0).get(cell, ())
 
     # -- eps-augmented maps ------------------------------------------------------
 
@@ -59,42 +149,265 @@ class SegmentCellMaps:
         self, segment_id: int, eps: float
     ) -> Sequence[CellCoord]:
         """``C_eps(l)``: cells within distance ``eps`` of the segment."""
-        seg_to_cells, _cell_to_segs = self._augmented_maps(eps)
-        return seg_to_cells[segment_id]
+        aug = self._augment(eps)
+        cache = self._seg_maps.setdefault(eps, {})
+        got = cache.get(segment_id)
+        if got is None:
+            pos = self._seg_pos[segment_id]
+            start = int(aug.offsets[pos])
+            stop = int(aug.offsets[pos + 1])
+            got = tuple(zip(aug.ii[start:stop].tolist(),
+                            aug.jj[start:stop].tolist()))
+            cache[segment_id] = got
+        return got
 
     def segments_of_cell(self, cell: CellCoord, eps: float) -> Sequence[int]:
         """``L_eps(c)``: segments within distance ``eps`` of the cell."""
-        _seg_to_cells, cell_to_segs = self._augmented_maps(eps)
-        return cell_to_segs.get(cell, ())
+        return self._inverse_map(eps).get(cell, ())
 
     def augmented_cell_counts(self, eps: float) -> Mapping[int, int]:
         """``|C_eps(l)|`` for every segment — the SL2 source-list weights."""
-        seg_to_cells, _unused = self._augmented_maps(eps)
-        return {sid: len(cells) for sid, cells in seg_to_cells.items()}
+        got = self._count_maps.get(eps)
+        if got is None:
+            aug = self._augment(eps)
+            got = dict(zip(self._seg_id_list, aug.counts.tolist()))
+            self._count_maps[eps] = got
+        return got
+
+    def augmented_cell_counts_column(self, eps: float) -> np.ndarray:
+        """``|C_eps(l)|`` as an int64 column aligned with
+        :attr:`segment_ids_column`."""
+        return self._augment(eps).counts
+
+    @property
+    def segment_ids_column(self) -> np.ndarray:
+        """Segment ids in builder (``iter_segments``) order."""
+        return self._seg_ids
+
+    def augmented_csr(
+        self, eps: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Confirmed ``C_eps`` pairs as ``(offsets, ii, jj)`` CSR columns.
+
+        Row order is the canonical scalar order: segment-major (builder
+        order), cells row-major within each segment's window — the order
+        ``cells_of_segment`` tuples list.
+        """
+        aug = self._augment(eps)
+        return aug.offsets, aug.ii, aug.jj
+
+    def cached_distance_columns(self) -> _AugmentCache | None:
+        """The incremental distance cache (for snapshot export), if any."""
+        return self._cache
 
     # -- internals ------------------------------------------------------------
 
-    def _augmented_maps(self, eps: float):
+    def _augment(self, eps: float) -> _AugmentedEps:
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
-        cached = self._augmented.get(eps)
-        if cached is not None:
-            return cached
-        with trace_span("index.augment_eps", eps=eps):
-            result = self._compute_augmented_maps(eps)
-        self._augmented[eps] = result
-        return result
+        got = self._aug_csr.get(eps)
+        if got is not None:
+            return got
+        if not self.vectorized:
+            mode = "scalar"
+        elif self._cache is None:
+            mode = "fresh"
+        elif eps <= self._cache.eps:
+            mode = "filter"
+        else:
+            mode = "delta"
+        with trace_span("index.augment_eps", eps=eps, mode=mode):
+            if mode == "scalar":
+                aug = self._compute_scalar(eps)
+            else:
+                self._ensure_cache(eps, mode)
+                aug = self._filter_cache(eps)
+        REGISTRY.inc(f"index.augment.build.{mode}")
+        REGISTRY.inc("index.augment.confirmed_pairs",
+                     int(aug.ii.shape[0]))
+        self._aug_csr[eps] = aug
+        if self.vectorized and contracts.ENABLED:
+            self._check_against_scalar(eps, aug)
+        return aug
 
-    def _compute_augmented_maps(self, eps: float):
-        seg_to_cells: dict[int, tuple[CellCoord, ...]] = {}
-        cell_to_segs: dict[CellCoord, list[int]] = defaultdict(list)
-        for seg in self.network.iter_segments():
+    # -- vectorised path ------------------------------------------------------
+
+    def _window(
+        self, eps: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-segment candidate cell windows for ``eps``.
+
+        Element-for-element the scalar probe: the segment MBR expanded by
+        ``eps`` (``BBox.expanded``), its corners clamped to the grid
+        (``UniformGrid.cell_of``).
+        """
+        i0, j0 = self.grid.cells_of_batched(self._mbr_min_x - eps,
+                                            self._mbr_min_y - eps)
+        i1, j1 = self.grid.cells_of_batched(self._mbr_max_x + eps,
+                                            self._mbr_max_y + eps)
+        return i0, j0, i1, j1
+
+    def _enumerate_windows(
+        self, i0: np.ndarray, j0: np.ndarray,
+        i1: np.ndarray, j1: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-expand the windows into flat candidate rows.
+
+        Returns ``(offsets, seg, ii, jj)``; rows are segment-major with
+        cells in row-major window order, matching the scalar
+        ``cells_in_bbox`` enumeration.
+        """
+        nj = j1 - j0 + 1
+        cnt = (i1 - i0 + 1) * nj
+        offsets = counts_to_offsets(cnt)
+        total = int(offsets[-1])
+        seg = np.repeat(np.arange(self._n, dtype=np.int64), cnt)
+        within = np.arange(total, dtype=np.int64) \
+            - np.repeat(offsets[:-1], cnt)
+        nj_rows = nj[seg]
+        ii = i0[seg] + within // nj_rows
+        jj = j0[seg] + within % nj_rows
+        return offsets, seg, ii, jj
+
+    def _batched_dist(self, seg: np.ndarray, ii: np.ndarray,
+                      jj: np.ndarray) -> np.ndarray:
+        """Exact segment-to-cell-box distances for flat candidate rows."""
+        extent = self.grid.extent
+        cs = self.grid.cell_size
+        out = np.empty(seg.shape[0], dtype=np.float64)
+        for start in range(0, seg.shape[0], _KERNEL_CHUNK):
+            stop = start + _KERNEL_CHUNK
+            s = seg[start:stop]
+            # Box columns exactly as cell_bbox builds them.
+            x0 = extent.min_x + ii[start:stop].astype(np.float64) * cs
+            y0 = extent.min_y + jj[start:stop].astype(np.float64) * cs
+            out[start:stop] = segments_bbox_mindist_batched(
+                self._ax[s], self._ay[s], self._bx[s], self._by[s],
+                x0, y0, x0 + cs, y0 + cs)
+        return out
+
+    def _ensure_cache(self, eps: float, mode: str) -> None:
+        """Grow the distance cache to cover ``eps`` (no-op for filters)."""
+        if mode == "filter":
+            REGISTRY.inc("index.augment.cache_reused")
+            return
+        i0, j0, i1, j1 = self._window(eps)
+        offsets, seg, ii, jj = self._enumerate_windows(i0, j0, i1, j1)
+        if mode == "delta":
+            cache = self._cache
+            assert cache is not None
+            inside_old = ((ii >= cache.i0[seg]) & (ii <= cache.i1[seg])
+                          & (jj >= cache.j0[seg]) & (jj <= cache.j1[seg]))
+            # Window monotonicity in eps makes the old window a sub-
+            # rectangle of the new one, so every old row maps to a direct
+            # position inside it: reuse its distance, compute only the ring.
+            old_nj = cache.j1 - cache.j0 + 1
+            old_pos = (cache.offsets[:-1][seg]
+                       + (ii - cache.i0[seg]) * old_nj[seg]
+                       + (jj - cache.j0[seg]))
+            dist = np.empty(ii.shape[0], dtype=np.float64)
+            dist[inside_old] = cache.dist[old_pos[inside_old]]
+            ring = np.flatnonzero(~inside_old)
+            dist[ring] = self._batched_dist(seg[ring], ii[ring], jj[ring])
+            REGISTRY.inc("index.augment.delta_pairs", int(ring.shape[0]))
+            REGISTRY.inc("index.augment.cache_rows_reused",
+                         int(ii.shape[0] - ring.shape[0]))
+        else:
+            dist = self._batched_dist(seg, ii, jj)
+        REGISTRY.inc("index.augment.candidate_pairs", int(ii.shape[0]))
+        self._cache = _AugmentCache(eps, i0, j0, i1, j1, offsets, seg, ii,
+                                    jj, dist)
+
+    def _filter_cache(self, eps: float) -> _AugmentedEps:
+        """Confirm ``C_eps`` from the cache: threshold + ``eps``-window test.
+
+        The window test is required for exact scalar equality, not just the
+        threshold: a cell can sit exactly at distance ``eps`` from the
+        segment yet outside the ``eps``-expanded-MBR window the scalar path
+        enumerates (the expansion bounds the *MBR*, not the distance), and
+        such a cell must be rejected exactly as the scalar loop never
+        visits it.  Window monotonicity in ``eps`` guarantees every cell
+        inside the ``eps``-window is already a cached row.
+        """
+        cache = self._cache
+        assert cache is not None
+        if eps == cache.eps:
+            mask = cache.dist <= eps
+        else:
+            i0, j0, i1, j1 = self._window(eps)
+            seg = cache.seg
+            mask = ((cache.dist <= eps)
+                    & (cache.ii >= i0[seg]) & (cache.ii <= i1[seg])
+                    & (cache.jj >= j0[seg]) & (cache.jj <= j1[seg]))
+        counts = np.bincount(cache.seg[mask], minlength=self._n)
+        return _AugmentedEps(counts_to_offsets(counts), cache.ii[mask],
+                             cache.jj[mask], counts.astype(np.int64))
+
+    # -- dict materialisation (legacy views) -----------------------------------
+
+    def _augmented_maps(
+        self, eps: float
+    ) -> tuple[dict[int, tuple[CellCoord, ...]],
+               dict[CellCoord, tuple[int, ...]]]:
+        """The fully-materialised legacy dict pair for one ``eps``."""
+        return self._full_seg_map(eps), self._inverse_map(eps)
+
+    def _full_seg_map(self, eps: float) -> dict[int, tuple[CellCoord, ...]]:
+        aug = self._augment(eps)
+        cache = self._seg_maps.setdefault(eps, {})
+        if len(cache) < self._n:
+            offsets = aug.offsets.tolist()
+            pairs = list(zip(aug.ii.tolist(), aug.jj.tolist()))
+            for pos, sid in enumerate(self._seg_id_list):
+                if sid not in cache:
+                    cache[sid] = tuple(pairs[offsets[pos]:offsets[pos + 1]])
+        return cache
+
+    def _inverse_map(self, eps: float) -> dict[CellCoord, tuple[int, ...]]:
+        got = self._inv_maps.get(eps)
+        if got is None:
+            aug = self._augment(eps)
+            got = self._invert_csr(aug)
+            self._inv_maps[eps] = got
+        return got
+
+    def _invert_csr(
+        self, aug: _AugmentedEps
+    ) -> dict[CellCoord, tuple[int, ...]]:
+        """``L_eps`` from the confirmed CSR, in scalar insertion order.
+
+        Cells keyed by first appearance in the segment-major row stream
+        (the order the scalar ``defaultdict`` discovered them), segment
+        ids ascending in builder order within each cell.
+        """
+        seg_col = np.repeat(np.arange(self._n, dtype=np.int64), aug.counts)
+        lin = aug.ii * np.int64(self.grid.ny) + aug.jj
+        order, starts, ends, keys = first_appearance_groups(lin)
+        sid_rows = self._seg_ids[seg_col]
+        ny = self.grid.ny
+        inv: dict[CellCoord, tuple[int, ...]] = {}
+        for g in range(starts.shape[0]):
+            key = int(keys[g])
+            rows = order[starts[g]:ends[g]]
+            inv[(key // ny, key % ny)] = tuple(sid_rows[rows].tolist())
+        return inv
+
+    # -- scalar path (ablation) ------------------------------------------------
+
+    def _compute_scalar(self, eps: float) -> _AugmentedEps:
+        """The pre-vectorisation kernel loop, kept for ablation runs."""
+        counts = np.zeros(self._n, dtype=np.int64)
+        flat_i: list[int] = []
+        flat_j: list[int] = []
+        for pos, seg in enumerate(self.network.iter_segments()):
             cells = self._cells_within(seg.ax, seg.ay, seg.bx, seg.by, eps)
-            seg_to_cells[seg.id] = cells
-            for cell in cells:
-                cell_to_segs[cell].append(seg.id)
-        return (seg_to_cells,
-                {cell: tuple(sids) for cell, sids in cell_to_segs.items()})
+            counts[pos] = len(cells)
+            for i, j in cells:
+                flat_i.append(i)
+                flat_j.append(j)
+        return _AugmentedEps(counts_to_offsets(counts),
+                             np.array(flat_i, dtype=np.int64),
+                             np.array(flat_j, dtype=np.int64), counts)
 
     def _cells_within(
         self, ax: float, ay: float, bx: float, by: float, eps: float
@@ -111,6 +424,32 @@ class SegmentCellMaps:
         out = []
         for cell in self.grid.cells_in_bbox(probe):
             box = self.grid.cell_bbox(cell)
-            if segment_bbox_mindist(ax, ay, bx, by, box) <= eps:
+            if segment_bbox_mindist(ax, ay, bx, by, box) <= eps:  # repro-lint: disable=REP-P405 (scalar reference kept for ablation and REPRO_CHECK cross-validation)
                 out.append(cell)
         return tuple(out)
+
+    # -- REPRO_CHECK cross-validation -------------------------------------------
+
+    def _check_against_scalar(self, eps: float, aug: _AugmentedEps) -> None:
+        """Contract: vectorised confirmation equals the scalar kernel loop.
+
+        Re-derives ``C_eps`` with the scalar path for a deterministic
+        sample of segments and requires exact (order-sensitive) equality.
+        """
+        if self._n == 0:
+            return
+        step = max(1, self._n // _CHECK_SAMPLE)
+        offsets = aug.offsets
+        for pos in range(0, self._n, step):
+            expected = self._cells_within(
+                float(self._ax[pos]), float(self._ay[pos]),
+                float(self._bx[pos]), float(self._by[pos]), eps)
+            start = int(offsets[pos])
+            stop = int(offsets[pos + 1])
+            got = tuple(zip(aug.ii[start:stop].tolist(),
+                            aug.jj[start:stop].tolist()))
+            if got != expected:
+                raise contracts.ContractViolation(
+                    f"[augment-vectorized] C_eps mismatch for segment "
+                    f"{self._seg_id_list[pos]} at eps={eps}: vectorised "
+                    f"{got} != scalar {expected}")

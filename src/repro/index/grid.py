@@ -13,10 +13,35 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import GridIndexError
 from repro.geometry.bbox import BBox
+from repro.index.csr import first_appearance_groups
 
 CellCoord = tuple[int, int]
+
+
+def bucket_points(
+    grid: "UniformGrid", xs: np.ndarray, ys: np.ndarray
+) -> dict[CellCoord, np.ndarray]:
+    """Group point positions by containing cell, vectorised.
+
+    Returns ``{cell: positions}`` with cells in first-appearance
+    (position) order and positions ascending within each cell — exactly
+    the dictionary a per-point ``defaultdict(list)`` loop over
+    :meth:`UniformGrid.cell_of` builds, via one batched cell assignment
+    and one stable argsort.
+    """
+    i, j = grid.cells_of_batched(xs, ys)
+    lin = i * np.int64(grid.ny) + j
+    order, starts, ends, keys = first_appearance_groups(lin)
+    ny = grid.ny
+    out: dict[CellCoord, np.ndarray] = {}
+    for g in range(keys.shape[0]):
+        key = int(keys[g])
+        out[(key // ny, key % ny)] = order[starts[g]:ends[g]].astype(np.intp)
+    return out
 
 
 class UniformGrid:
@@ -46,6 +71,25 @@ class UniformGrid:
         i = int((x - self.extent.min_x) // self.cell_size)
         j = int((y - self.extent.min_y) // self.cell_size)
         return (min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1))
+
+    def cells_of_batched(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`cell_of`: clamped cell indices for point columns.
+
+        Returns ``(i, j)`` int64 arrays.  The floor-divide is applied in
+        the float domain and clamped *before* the integer cast (NumPy's
+        ``floor_divide`` matches Python's float ``//`` semantics, and
+        clamping first keeps out-of-range magnitudes from overflowing the
+        cast), so each element equals the scalar :meth:`cell_of` result.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        fi = np.floor_divide(xs - self.extent.min_x, self.cell_size)
+        fj = np.floor_divide(ys - self.extent.min_y, self.cell_size)
+        i = np.clip(fi, 0.0, float(self.nx - 1)).astype(np.int64)
+        j = np.clip(fj, 0.0, float(self.ny - 1)).astype(np.int64)
+        return i, j
 
     def cell_bbox(self, cell: CellCoord) -> BBox:
         """The rectangle of a cell.

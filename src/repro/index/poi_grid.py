@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.data.poi import POISet
 from repro.geometry.bbox import BBox
-from repro.index.grid import CellCoord, UniformGrid
+from repro.index.grid import CellCoord, UniformGrid, bucket_points
 from repro.index.inverted import CellInvertedIndex, GlobalInvertedIndex
 
 
@@ -36,24 +36,115 @@ class POIGridIndex:
     cell_size:
         Grid cell side ("arbitrary cell size" per the paper; the presets
         default to ``2 * eps``).
+    vectorized:
+        Bucket points into cells with one vectorised pass (the default);
+        the scalar per-point loop is kept for ablation and produces the
+        same dictionaries in the same order.
     """
 
-    def __init__(self, pois: POISet, extent: BBox, cell_size: float) -> None:
+    def __init__(self, pois: POISet, extent: BBox, cell_size: float,
+                 vectorized: bool = True) -> None:
         self.pois = pois
         self.grid = UniformGrid(extent, cell_size)
-        per_cell: dict[CellCoord, list[int]] = defaultdict(list)
+        if vectorized:
+            self._cell_positions = bucket_points(self.grid, pois.xs, pois.ys)
+        else:
+            per_cell: dict[CellCoord, list[int]] = defaultdict(list)
+            for position in range(len(pois)):
+                cell = self.grid.cell_of(float(pois.xs[position]),
+                                         float(pois.ys[position]))
+                per_cell[cell].append(position)
+            self._cell_positions = {
+                cell: np.array(positions, dtype=np.intp)
+                for cell, positions in per_cell.items()}
+        if vectorized:
+            # Local inverted indexes materialise lazily (queries touch
+            # only candidate cells), so the cold path never builds
+            # posting lists for cells no query asks about; the global
+            # index is counted in one batched pass.
+            self._cell_index: dict[CellCoord, CellInvertedIndex] = {}
+            self.global_index = self._build_global_index_batched()
+        else:
+            # The original eager construction, kept verbatim as the
+            # scalar ablation reference (no postings CSR: queries fall
+            # back to the per-cell merge path).
+            self._kw_vocab = None
+            self._kw_post_offsets = None
+            self._kw_post_values = None
+            self._cell_index = {
+                cell: CellInvertedIndex(
+                    (pos, pois[pos].keywords) for pos in positions.tolist())
+                for cell, positions in self._cell_positions.items()}
+            self.global_index = GlobalInvertedIndex.from_cells(
+                self._cell_index)
+
+    def _build_global_index_batched(self) -> GlobalInvertedIndex:
+        """The global index from one batched (keyword, cell) count pass.
+
+        Keyword incidences are integer-encoded in a single walk over the
+        POIs, paired with each POI's linearised cell, tallied with one
+        ``np.unique`` and ordered with one lexsort on
+        ``(keyword, -count, cell)`` — the exact ``(-count, cell)``
+        entry order :class:`GlobalInvertedIndex` sorts into, so every
+        ``entries``/``count`` lookup is identical to aggregating eager
+        per-cell indexes with :meth:`GlobalInvertedIndex.from_cells`.
+        """
+        pois = self.pois
+        vocabulary: dict[str, int] = {}
+        kw_ids: list[int] = []
+        kw_positions: list[int] = []
         for position in range(len(pois)):
-            cell = self.grid.cell_of(float(pois.xs[position]),
-                                     float(pois.ys[position]))
-            per_cell[cell].append(position)
-        self._cell_positions: dict[CellCoord, np.ndarray] = {
-            cell: np.array(positions, dtype=np.intp)
-            for cell, positions in per_cell.items()}
-        self._cell_index: dict[CellCoord, CellInvertedIndex] = {
-            cell: CellInvertedIndex(
-                (pos, pois[pos].keywords) for pos in positions)
-            for cell, positions in per_cell.items()}
-        self.global_index = GlobalInvertedIndex.from_cells(self._cell_index)
+            for keyword in pois[position].keywords:
+                kw_ids.append(vocabulary.setdefault(keyword,
+                                                    len(vocabulary)))
+                kw_positions.append(position)
+        index = GlobalInvertedIndex.__new__(GlobalInvertedIndex)
+        index._entries = {}
+        index._counts = {}
+        self._kw_vocab = vocabulary
+        if not kw_ids:
+            self._kw_post_offsets = np.zeros(1, dtype=np.int64)
+            self._kw_post_values = np.zeros(0, dtype=np.intp)
+            return index
+        ny = self.grid.ny
+        i, j = self.grid.cells_of_batched(pois.xs, pois.ys)
+        lin = i * np.int64(ny) + j
+        span = np.int64(self.grid.nx) * np.int64(ny)
+        kw = np.asarray(kw_ids, dtype=np.int64)
+        incidence_pos = np.asarray(kw_positions, dtype=np.int64)
+        cell_lin = lin[incidence_pos]
+        # Per-keyword postings CSR (positions ascending within each
+        # keyword): the per-query relevance mask reads straight out of
+        # this instead of materialising per-cell inverted indexes.
+        post_order = np.lexsort((incidence_pos, kw))
+        self._kw_post_offsets = np.zeros(len(vocabulary) + 1,
+                                         dtype=np.int64)
+        np.cumsum(np.bincount(kw, minlength=len(vocabulary)),
+                  out=self._kw_post_offsets[1:])
+        self._kw_post_values = incidence_pos[post_order].astype(
+            np.intp, copy=False)
+        pair, counts = np.unique(kw * span + cell_lin, return_counts=True)
+        pair_kw = pair // span
+        pair_cell = pair % span
+        pair_i = pair_cell // ny
+        pair_j = pair_cell % ny
+        order = np.lexsort((pair_j, pair_i, -counts, pair_kw))
+        sorted_kw = pair_kw[order]
+        boundary = np.flatnonzero(
+            np.r_[True, sorted_kw[1:] != sorted_kw[:-1]])
+        bounds = np.r_[boundary, sorted_kw.shape[0]].tolist()
+        si = pair_i[order].tolist()
+        sj = pair_j[order].tolist()
+        sc = counts[order].tolist()
+        names = list(vocabulary)
+        for g in range(len(bounds) - 1):
+            begin, end = bounds[g], bounds[g + 1]
+            entries = tuple(((si[p], sj[p]), sc[p])
+                            for p in range(begin, end))
+            name = names[int(sorted_kw[begin])]
+            index._entries[name] = entries
+            index._counts[name] = {cell: count for cell, count in entries}
+        return index
 
     # -- cell contents ------------------------------------------------------
 
@@ -68,8 +159,21 @@ class POIGridIndex:
         return 0 if positions is None else len(positions)
 
     def cell_inverted(self, cell: CellCoord) -> CellInvertedIndex | None:
-        """The cell's local inverted index, or ``None`` for empty cells."""
-        return self._cell_index.get(cell)
+        """The cell's local inverted index, or ``None`` for empty cells.
+
+        Built on first access and cached; the postings are identical to
+        an eager build (same positions, same sort, same POI keywords).
+        """
+        index = self._cell_index.get(cell)
+        if index is None:
+            positions = self._cell_positions.get(cell)
+            if positions is None:
+                return None
+            index = CellInvertedIndex(
+                (pos, self.pois[pos].keywords)
+                for pos in positions.tolist())
+            self._cell_index[cell] = index
+        return index
 
     def occupied_cells(self) -> Iterator[CellCoord]:
         """Cells containing at least one POI."""
@@ -77,11 +181,33 @@ class POIGridIndex:
 
     # -- query-side helpers -----------------------------------------------------
 
+    def relevant_position_mask(
+        self, keywords: Iterable[str]
+    ) -> np.ndarray | None:
+        """Boolean mask over POI positions matching *any* keyword.
+
+        ``None`` on scalar-built indexes (no postings CSR) — callers then
+        fall back to the per-cell merge path.  Intersecting a cell's
+        (ascending) position array with this mask yields exactly the
+        sorted, deduplicated sequence
+        :meth:`CellInvertedIndex.matching_positions` merges.
+        """
+        if self._kw_post_offsets is None:
+            return None
+        mask = np.zeros(len(self.pois), dtype=bool)
+        offsets = self._kw_post_offsets
+        for keyword in set(keywords):  # repro-lint: disable=REP-D102 (boolean OR into the mask is order-independent)
+            kid = self._kw_vocab.get(keyword)
+            if kid is not None:
+                mask[self._kw_post_values[offsets[kid]:offsets[kid + 1]]] \
+                    = True
+        return mask
+
     def relevant_positions_in_cell(
         self, cell: CellCoord, keywords: Iterable[str]
     ) -> np.ndarray:
         """Positions of POIs in the cell matching *any* keyword (exact)."""
-        index = self._cell_index.get(cell)
+        index = self.cell_inverted(cell)
         if index is None:
             return np.empty(0, dtype=np.intp)
         return np.fromiter(index.matching_positions(keywords),

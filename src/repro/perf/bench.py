@@ -37,6 +37,7 @@ beyond a tolerance.
 
 from __future__ import annotations
 
+import gc
 import json
 import math
 import os
@@ -67,6 +68,7 @@ DESCRIBE_KS: tuple[int, ...] = (10, 20, 30, 40, 50)
 SOI_REPORT = "BENCH_soi.json"
 DESCRIBE_REPORT = "BENCH_describe.json"
 SERVE_REPORT = "BENCH_serve.json"
+BUILD_REPORT = "BENCH_build.json"
 
 SCHEMA_VERSION = 3
 """Report layout version.  Bumped whenever a field is renamed/removed so
@@ -97,18 +99,30 @@ def median_sweep(
     ``repeats=1`` run times the cold sweep — 1.5–4x slower than the warm
     medians a multi-repeat baseline converges to, which would make
     single-repeat smoke checks against committed baselines meaningless.
+
+    The timed repeats run with the cyclic garbage collector quiesced
+    (``timeit`` style): container-heavy sweeps otherwise trigger
+    generational collections mid-point, turning small (10–30 ms) leaves
+    bimodal by ~2x and flaking single-repeat gate checks.
     """
     for point in points:
         fn(point)
     sweeps: list[float] = []
     per_point: dict[object, list[float]] = {p: [] for p in points}
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        for point in points:
-            s0 = time.perf_counter()
-            fn(point)
-            per_point[point].append(time.perf_counter() - s0)
-        sweeps.append(time.perf_counter() - t0)
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for point in points:
+                s0 = time.perf_counter()
+                fn(point)
+                per_point[point].append(time.perf_counter() - s0)
+            sweeps.append(time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
     return (statistics.median(sweeps),
             {p: statistics.median(v) for p, v in per_point.items()})
 
@@ -326,6 +340,169 @@ def bench_describe(
             entry["trace_files"] = _dump_traces(
                 Path(trace_out), f"describe_{name}_k",
                 lambda k: st.select(k, lam, w), DESCRIBE_KS)
+        report["cities"][name] = entry
+    return report
+
+
+# -- cold-path build suite (BENCH_build.json) --------------------------------
+
+def _timed(fn: Callable[[], object]) -> tuple[float, object]:
+    """Wall seconds and result of one call."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _cold_build_pass(city: City, eps: float, keywords: Sequence[str],
+                     vectorized: bool) -> dict[str, float]:
+    """One fully cold build → augment → layout → query → snapshot sequence.
+
+    Every pass constructs a fresh engine, so nothing is served from a
+    previous pass's caches; ``median_sweep`` is unusable here because its
+    warm-up pass is exactly what a cold-start bench must not do.
+
+    The pass runs with the cyclic garbage collector quiesced (timeit
+    style): the dict-heavy builds allocate enough container objects to
+    trigger generational collections mid-phase, which made the
+    store-layout timing bimodal (~25 vs ~60 ms on the same inputs).  One
+    ``gc.collect()`` up front gives every pass the same clean slate.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return _cold_build_pass_timed(city, eps, keywords, vectorized)
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _cold_build_pass_timed(city: City, eps: float, keywords: Sequence[str],
+                           vectorized: bool) -> dict[str, float]:
+    from repro.index.cell_maps import SegmentCellMaps
+    from repro.serve.snapshot import IndexSnapshot
+    from repro.serve.views import attach_engine
+
+    times: dict[str, float] = {}
+    times["build_s"], engine = _timed(
+        lambda: SOIEngine(city.network, city.pois,
+                          vectorized_build=vectorized))
+    times["augment_first_s"], _unused = _timed(
+        lambda: engine.cell_maps.augmented_cell_counts_column(eps))
+    times["store_layout_s"], _unused = _timed(
+        lambda: engine.store_layout(eps))
+    times["first_query_s"], _unused = _timed(
+        lambda: engine.top_k(keywords, k=50, eps=eps))
+    times["cold_start_s"] = (times["build_s"] + times["augment_first_s"]
+                             + times["store_layout_s"]
+                             + times["first_query_s"])
+    # Second, distinct eps: below the cache it is a pure threshold filter.
+    times["augment_filter_s"], _unused = _timed(
+        lambda: engine.cell_maps.augmented_cell_counts_column(eps / 2.0))
+    # The from-scratch cost of the same second eps, on maps that carry no
+    # eps-sized cache — the denominator of the incremental speedup.
+    scratch = SegmentCellMaps(city.network, engine.poi_index.grid,
+                              vectorized=vectorized)
+    times["augment_scratch_s"], _unused = _timed(
+        lambda: scratch.augmented_cell_counts_column(eps / 2.0))
+    # Above the cache: candidate-ring delta only.
+    times["augment_delta_s"], _unused = _timed(
+        lambda: engine.cell_maps.augmented_cell_counts_column(2.0 * eps))
+    times["export_s"], snapshot = _timed(
+        lambda: IndexSnapshot.export(engine, warm_eps=(eps,)))
+    try:
+        def attach() -> object:
+            # Same process as the exporter: keep the default tracker
+            # registration (see IndexSnapshot.attach on track=False).
+            attached = IndexSnapshot.attach(snapshot.name)
+            try:
+                return attach_engine(attached)
+            finally:
+                attached.close()
+
+        times["attach_s"], _unused = _timed(attach)
+    finally:
+        snapshot.close()
+    return times
+
+
+_BUILD_PHASES = ("build", "augment_first", "store_layout", "first_query",
+                 "cold_start", "augment_filter", "augment_scratch",
+                 "augment_delta", "export", "attach")
+
+_AUGMENT_COUNTERS = (
+    "index.augment.build.fresh", "index.augment.build.filter",
+    "index.augment.build.delta", "index.augment.build.scalar",
+    "index.augment.candidate_pairs", "index.augment.confirmed_pairs",
+    "index.augment.delta_pairs", "index.augment.cache_rows_reused",
+    "index.augment.cache_reused",
+)
+
+
+def bench_build(
+    cities: Sequence[str] = DEFAULT_CITIES,
+    repeats: int = 3,
+    scale: float = 1.0,
+    eps: float = DEFAULT_EPS,
+    jobs: int | None = None,
+    ablation: bool = True,
+) -> dict:
+    """The cold-path suite: index construction and first-query timings.
+
+    Per city and repeat, a fresh engine runs the full cold sequence
+    (build, first-``eps`` augmentation, store layout, first query, a
+    second smaller ``eps`` served from the incremental cache, a larger
+    ``eps`` delta, snapshot export and attach); the per-phase medians are
+    the gated ``*_median_s`` metrics.  ``ablation=True`` additionally runs
+    the sequence once through the scalar construction path
+    (``vectorized_build=False``) and reports the speedups — ablation
+    numbers are informational, never gated.
+
+    ``jobs`` is accepted for CLI symmetry but unused: cold timings must
+    not share the machine with parallel builds.
+    """
+    del jobs  # cold-path timings are deliberately sequential
+    from repro.obs.metrics import REGISTRY
+
+    keywords = PAPER_QUERY_KEYWORDS[:3]
+    report: dict = {
+        "suite": "build",
+        "schema_version": SCHEMA_VERSION,
+        "eps": eps,
+        "scale": scale,
+        "repeats": repeats,
+        "keywords": list(keywords),
+        "environment": environment(),
+        "cities": {},
+    }
+    for name in cities:
+        city = build_preset(name, scale)  # untimed dataset generation
+        before = {key: REGISTRY.counter(key) for key in _AUGMENT_COUNTERS}
+        passes = [_cold_build_pass(city, eps, keywords, vectorized=True)
+                  for _ in range(repeats)]
+        after = {key: REGISTRY.counter(key) for key in _AUGMENT_COUNTERS}
+        entry: dict = {
+            f"{phase}_median_s": statistics.median(
+                p[f"{phase}_s"] for p in passes)
+            for phase in _BUILD_PHASES}
+        entry["counters"] = {
+            "augment": {key: (after[key] - before[key]) // repeats
+                        for key in _AUGMENT_COUNTERS}}
+        entry["num_segments"] = sum(
+            1 for _seg in city.network.iter_segments())
+        entry["num_pois"] = len(city.pois)
+        if ablation:
+            scalar = _cold_build_pass(city, eps, keywords, vectorized=False)
+            entry["scalar"] = scalar
+            entry["speedups"] = {
+                "cold_start_speedup": (
+                    scalar["cold_start_s"] / entry["cold_start_median_s"]
+                    if entry["cold_start_median_s"] > 0 else 0.0),
+                "incremental_augment_speedup": (
+                    entry["augment_scratch_median_s"]
+                    / entry["augment_filter_median_s"]
+                    if entry["augment_filter_median_s"] > 0 else 0.0),
+            }
         report["cities"][name] = entry
     return report
 

@@ -45,8 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.soi import SOIEngine
     from repro.data.photo import PhotoSet
 
-SNAPSHOT_SCHEMA = 1
-"""Bumped whenever the block layout changes; attach refuses mismatches."""
+SNAPSHOT_SCHEMA = 2
+"""Bumped whenever the block layout changes; attach refuses mismatches.
+
+Schema 2 adds the incremental augmentation distance cache
+(``scm_cache_*`` arrays plus the ``cache_eps`` meta field), so attached
+workers inherit the exporter's confirmed per-(segment, cell) distances
+instead of re-running the augmentation geometry."""
 
 _ALIGN = 64
 _MAGIC = "repro-index-snapshot"
@@ -178,14 +183,25 @@ def build_arrays(
     # -- segment/cell maps ------------------------------------------------
     cell_maps = engine.cell_maps
     seg_ids = [s.id for s in segments]
-    arrays["scm_base_offsets"], arrays["scm_base_cells"] = _pack_cell_csr(
-        [cell_maps._base_segment_to_cells[sid] for sid in seg_ids])
+
+    def _cell_csr_arrays(eps: float) -> tuple[np.ndarray, np.ndarray]:
+        csr = getattr(cell_maps, "augmented_csr", None)
+        if csr is not None:
+            offsets, flat_i, flat_j = csr(eps)
+            pairs = (np.stack([flat_i, flat_j], axis=1)
+                     if flat_i.shape[0] else np.zeros((0, 2), dtype=np.int64))
+            return (np.asarray(offsets, dtype=np.int64),
+                    pairs.astype(np.int64, copy=False))
+        seg_to_cells, _cell_to_segs = cell_maps._augmented_maps(eps)
+        return _pack_cell_csr([seg_to_cells[sid] for sid in seg_ids])
+
+    arrays["scm_base_offsets"], arrays["scm_base_cells"] = \
+        _cell_csr_arrays(0.0)
     eps_values: list[float] = []
     for index, eps in enumerate(warm_eps):
         if eps in eps_values:
             continue
-        seg_to_cells, _cell_to_segs = cell_maps._augmented_maps(eps)
-        offs, vals = _pack_cell_csr([seg_to_cells[sid] for sid in seg_ids])
+        offs, vals = _cell_csr_arrays(float(eps))
         arrays[f"scm_aug{index}_offsets"] = offs
         arrays[f"scm_aug{index}_cells"] = vals
         eps_values.append(float(eps))
@@ -193,6 +209,22 @@ def build_arrays(
         # verify payloads against the source, and the layout derives from
         # exactly the maps serialised above.
         engine.store_layout(float(eps))
+
+    # -- incremental augmentation distance cache --------------------------
+    cache_of = getattr(cell_maps, "cached_distance_columns", None)
+    cache = cache_of() if cache_of is not None else None
+    cache_eps = None
+    if cache is not None:
+        arrays["scm_cache_window"] = np.stack(
+            [cache.i0, cache.j0, cache.i1, cache.j1], axis=1)
+        arrays["scm_cache_offsets"] = np.asarray(cache.offsets,
+                                                 dtype=np.int64)
+        arrays["scm_cache_cells"] = (
+            np.stack([cache.ii, cache.jj], axis=1)
+            if cache.ii.shape[0] else np.zeros((0, 2), dtype=np.int64))
+        arrays["scm_cache_dist"] = np.asarray(cache.dist,
+                                              dtype=np.float64)
+        cache_eps = float(cache.eps)
 
     # -- SL3 (query-independent segment order) ----------------------------
     arrays["sl3_ids"] = np.asarray([sid for sid, _len in engine._sl3_entries],
@@ -218,6 +250,7 @@ def build_arrays(
         "extent": [extent.min_x, extent.min_y, extent.max_x, extent.max_y],
         "cell_size": engine.poi_index.grid.cell_size,
         "warm_eps": eps_values,
+        "cache_eps": cache_eps,
         "has_photos": photos is not None,
         "counts": {
             "vertices": len(vertices),

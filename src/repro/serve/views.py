@@ -23,9 +23,12 @@ from repro.core.soi import SOIEngine
 from repro.data.photo import Photo, PhotoSet
 from repro.data.poi import POI, POISet
 from repro.geometry.bbox import BBox
-from repro.index.cell_maps import SegmentCellMaps
-from repro.index.grid import CellCoord, UniformGrid
-from repro.index.inverted import CellInvertedIndex, GlobalInvertedIndex
+from repro.index.cell_maps import (
+    SegmentCellMaps,
+    _AugmentCache,
+    _AugmentedEps,
+)
+from repro.index.grid import UniformGrid
 from repro.index.poi_grid import POIGridIndex
 from repro.network.model import RoadNetwork, Segment, Street, Vertex
 from repro.obs.tracer import trace_span
@@ -52,19 +55,6 @@ def _keyword_sets(
         frozenset(vocabulary[kid]
                   for kid in values[offsets[pos]:offsets[pos + 1]])
         for pos in range(len(offsets) - 1)
-    ]
-
-
-def _cell_runs(
-    snapshot: IndexSnapshot, offsets_name: str, cells_name: str
-) -> list[tuple[CellCoord, ...]]:
-    """Per-row cell-coordinate tuples from a cell CSR pair."""
-    offsets = snapshot.array(offsets_name)
-    pairs = snapshot.array(cells_name)
-    return [
-        tuple((int(i), int(j))
-              for i, j in pairs[offsets[row]:offsets[row + 1]])
-        for row in range(len(offsets) - 1)
     ]
 
 
@@ -156,48 +146,77 @@ def attach_poi_index(
         cell: np.asarray(values[offsets[row]:offsets[row + 1]],
                          dtype=np.intp)  # zero-copy on 64-bit platforms
         for row, cell in enumerate(cells)}
-    index._cell_index = {
-        cell: CellInvertedIndex(
-            (int(pos), pois[int(pos)].keywords)
-            for pos in positions)
-        for cell, positions in index._cell_positions.items()}
-    index.global_index = GlobalInvertedIndex.from_cells(index._cell_index)
+    # Local inverted indexes materialise lazily, exactly as on a freshly
+    # built index: each worker only pays for the cells its queries touch.
+    index._cell_index = {}
+    index.global_index = index._build_global_index_batched()
     return index
+
+
+def _seeded_csr(
+    snapshot: IndexSnapshot, offsets_name: str, cells_name: str
+) -> _AugmentedEps:
+    """A confirmed-pairs CSR view straight over the snapshot arrays."""
+    offsets = snapshot.array(offsets_name)
+    pairs = snapshot.array(cells_name)
+    return _AugmentedEps(offsets, pairs[:, 0], pairs[:, 1],
+                         np.diff(offsets))
 
 
 @trace_span("snapshot.attach_cell_maps")
 def attach_cell_maps(
     snapshot: IndexSnapshot, network: RoadNetwork, grid: UniformGrid
 ) -> SegmentCellMaps:
-    """Segment/cell adjacency: base map plus every warmed ``eps`` map.
+    """Segment/cell adjacency: base CSR plus every warmed ``eps`` CSR.
 
-    Inverse (cell → segments) maps are rebuilt by inverting the stored
-    segment → cells runs in segment order — the same iteration the
-    original construction performed, so the dictionaries come out in the
-    original insertion order.  Queries with an un-warmed ``eps`` recompute
-    the augmentation lazily, exactly like a fresh engine.
+    The stored pair columns become the per-``eps`` CSR caches **zero-copy**
+    (the legacy dict views materialise lazily on first access, in exactly
+    the recorded element order), and the incremental distance cache — if
+    the exporter carried one — is installed read-only, so attached workers
+    never re-run the augmentation geometry for any ``eps`` at or below the
+    cached one.  Queries beyond it grow the cache exactly like a fresh
+    engine (growth replaces the arrays; the snapshot views are never
+    written).
     """
     maps = SegmentCellMaps.__new__(SegmentCellMaps)
     maps.network = network
     maps.grid = grid
-    seg_ids = [int(sid) for sid in snapshot.array("seg_ids")]
-
-    def _invert(seg_to_cells: dict[int, tuple[CellCoord, ...]]):
-        cell_to_segs: dict[CellCoord, list[int]] = {}
-        for sid in seg_ids:
-            for cell in seg_to_cells[sid]:
-                cell_to_segs.setdefault(cell, []).append(sid)
-        return {cell: tuple(sids) for cell, sids in cell_to_segs.items()}
-
-    base_runs = _cell_runs(snapshot, "scm_base_offsets", "scm_base_cells")
-    maps._base_segment_to_cells = dict(zip(seg_ids, base_runs))
-    maps._base_cell_to_segments = _invert(maps._base_segment_to_cells)
-    maps._augmented = {}
+    maps.vectorized = True
+    seg_ids = snapshot.array("seg_ids")
+    maps._n = int(seg_ids.shape[0])
+    maps._seg_ids = seg_ids
+    maps._seg_id_list = [int(sid) for sid in seg_ids]
+    maps._seg_pos = {sid: pos
+                     for pos, sid in enumerate(maps._seg_id_list)}
+    maps._ax = snapshot.array("seg_ax")
+    maps._ay = snapshot.array("seg_ay")
+    maps._bx = snapshot.array("seg_bx")
+    maps._by = snapshot.array("seg_by")
+    maps._mbr_min_x = np.minimum(maps._ax, maps._bx)
+    maps._mbr_min_y = np.minimum(maps._ay, maps._by)
+    maps._mbr_max_x = np.maximum(maps._ax, maps._bx)
+    maps._mbr_max_y = np.maximum(maps._ay, maps._by)
+    maps._aug_csr = {0.0: _seeded_csr(snapshot, "scm_base_offsets",
+                                      "scm_base_cells")}
+    maps._seg_maps = {}
+    maps._inv_maps = {}
+    maps._count_maps = {}
     for index, eps in enumerate(snapshot.meta.get("warm_eps", ())):
-        runs = _cell_runs(snapshot, f"scm_aug{index}_offsets",
-                          f"scm_aug{index}_cells")
-        seg_to_cells = dict(zip(seg_ids, runs))
-        maps._augmented[float(eps)] = (seg_to_cells, _invert(seg_to_cells))
+        maps._aug_csr[float(eps)] = _seeded_csr(
+            snapshot, f"scm_aug{index}_offsets", f"scm_aug{index}_cells")
+    maps._cache = None
+    if snapshot.has_array("scm_cache_dist"):
+        window = snapshot.array("scm_cache_window")
+        offsets = snapshot.array("scm_cache_offsets")
+        pairs = snapshot.array("scm_cache_cells")
+        maps._cache = _AugmentCache(
+            float(snapshot.meta["cache_eps"]),
+            window[:, 0], window[:, 1], window[:, 2], window[:, 3],
+            offsets,
+            np.repeat(np.arange(maps._n, dtype=np.int64),
+                      np.diff(offsets)),
+            pairs[:, 0], pairs[:, 1],
+            snapshot.array("scm_cache_dist"))
     return maps
 
 

@@ -1,0 +1,270 @@
+"""Property-based equivalence for the vectorised cold-path builders.
+
+The vectorised index construction must be *bit-identical* to the scalar
+reference, not merely approximately equal: the batched geometry kernels
+against their scalar counterparts, the vectorised + incremental
+``eps``-augmentation against per-``eps`` scalar map construction (both
+sweep directions, so the filter and delta cache modes are both
+exercised), the CSR store-layout pass against the original dict walk,
+and the batched point bucketing against per-point ``cell_of`` loops.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.state_store import StoreLayout
+from repro.geometry.bbox import BBox
+from repro.geometry.distance import (
+    _hypot_exact,
+    point_segment_distance,
+    segment_bbox_mindist,
+    segments_bbox_mindist_batched,
+)
+from repro.index.cell_maps import SegmentCellMaps
+from repro.index.grid import UniformGrid, bucket_points
+
+from tests.conftest import random_networks, random_pois
+
+EXTENT = BBox(0.0, 0.0, 0.02, 0.02)
+EPS_LADDER = (0.0, 0.0004, 0.001, 0.002)
+
+
+def _grid(cell_size: float = 0.0015) -> UniformGrid:
+    return UniformGrid(EXTENT, cell_size)
+
+
+# -- batched geometry kernels -------------------------------------------------
+
+finite_coord = st.floats(min_value=-4.0, max_value=4.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def segment_box_rows(draw):
+    """One (segment, box) operand row, biased towards degenerate layouts:
+    zero-length segments, endpoints pinned to box corners/edges/interior
+    (the scalar kernel's early-return branches)."""
+    ax, ay, bx, by = (draw(finite_coord) for _ in range(4))
+    if draw(st.booleans()):
+        bx, by = ax, ay  # zero-length segment
+    x0, x1 = sorted((draw(finite_coord), draw(finite_coord)))
+    y0, y1 = sorted((draw(finite_coord), draw(finite_coord)))
+    anchor = draw(st.sampled_from(("free", "corner", "edge", "inside")))
+    if anchor == "corner":
+        ax, ay = x0, y0
+    elif anchor == "edge":
+        ax = x0  # endpoint exactly on the box's left edge line
+    elif anchor == "inside":
+        ax, ay = (x0 + x1) / 2.0, (y0 + y1) / 2.0
+    return ax, ay, bx, by, x0, y0, x1, y1
+
+
+@given(rows=st.lists(segment_box_rows(), min_size=1, max_size=32))
+@settings(max_examples=60)
+def test_batched_bbox_mindist_bit_identical_to_scalar(rows):
+    cols = np.array(rows, dtype=np.float64).T
+    got = segments_bbox_mindist_batched(*cols)
+    want = np.array([
+        segment_bbox_mindist(ax, ay, bx, by, BBox(x0, y0, x1, y1))
+        for ax, ay, bx, by, x0, y0, x1, y1 in rows], dtype=np.float64)
+    assert got.tobytes() == want.tobytes()
+
+
+_SPECIAL_OPERANDS = (
+    0.0, -0.0, 5e-324, 1e-310, 2.0 ** -1022, 2.0 ** -1000, 2.0 ** -999,
+    1.0, 3.0, 1e308, 2.0 ** 999, 2.0 ** 1000, math.inf, -math.inf,
+)
+hypot_operand = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=True, width=64),
+    st.sampled_from(_SPECIAL_OPERANDS),
+)
+
+
+@given(pairs=st.lists(st.tuples(hypot_operand, hypot_operand),
+                      min_size=1, max_size=64))
+@settings(max_examples=80)
+def test_hypot_exact_bitwise_equals_math_hypot(pairs):
+    dx = np.array([a for a, _b in pairs], dtype=np.float64)
+    dy = np.array([b for _a, b in pairs], dtype=np.float64)
+    got = _hypot_exact(dx, dy)
+    want = np.array([math.hypot(a, b) for a, b in pairs], dtype=np.float64)
+    assert got.tobytes() == want.tobytes()
+
+
+def test_hypot_exact_nan_rows():
+    got = _hypot_exact(np.array([math.nan, math.nan, math.inf]),
+                       np.array([1.0, math.inf, math.nan]))
+    assert math.isnan(got[0])
+    assert got[1] == math.inf  # IEEE: inf wins over nan
+    assert got[2] == math.inf
+
+
+@given(rows=st.lists(st.tuples(*([finite_coord] * 6)),
+                     min_size=1, max_size=32))
+@settings(max_examples=40)
+def test_points_segments_distance_bit_identical(rows):
+    from repro.geometry.distance import _points_segments_distance
+
+    cols = np.array(rows, dtype=np.float64).T
+    got = _points_segments_distance(*cols)
+    want = np.array([point_segment_distance(*row) for row in rows],
+                    dtype=np.float64)
+    assert got.tobytes() == want.tobytes()
+
+
+# -- vectorised + incremental augmentation vs scalar maps ---------------------
+
+def _assert_maps_equal(vec: SegmentCellMaps, ref: SegmentCellMaps,
+                       eps: float) -> None:
+    """Equal both directions, as sets *and* in scalar iteration order."""
+    vec_seg, vec_inv = vec._augmented_maps(eps)
+    ref_seg, ref_inv = ref._augmented_maps(eps)
+    assert vec_seg == ref_seg
+    assert list(vec_seg) == list(ref_seg)
+    assert vec_inv == ref_inv
+    assert list(vec_inv) == list(ref_inv)
+    assert dict(vec.augmented_cell_counts(eps)) == \
+        dict(ref.augmented_cell_counts(eps))
+
+
+@given(network=random_networks(), ascending=st.booleans())
+@settings(max_examples=25)
+def test_incremental_augmentation_matches_scalar_both_orders(
+        network, ascending):
+    """Ascending sweeps exercise the delta mode (cache growth), descending
+    sweeps the filter mode (threshold + window membership) — both must
+    reproduce per-``eps`` scalar construction exactly."""
+    grid = _grid()
+    vec = SegmentCellMaps(network, grid, vectorized=True)
+    ref = SegmentCellMaps(network, grid, vectorized=False)
+    sequence = EPS_LADDER if ascending else EPS_LADDER[::-1]
+    for eps in sequence:
+        _assert_maps_equal(vec, ref, eps)
+
+
+@given(network=random_networks(),
+       eps_pair=st.tuples(st.sampled_from(EPS_LADDER[1:]),
+                          st.sampled_from(EPS_LADDER[1:])))
+@settings(max_examples=25)
+def test_revisited_eps_identical_after_cache_growth(network, eps_pair):
+    """Re-querying an ``eps`` after the cache grew past it must return the
+    very same CSR object (cached), equal to a fresh scalar build."""
+    grid = _grid()
+    vec = SegmentCellMaps(network, grid, vectorized=True)
+    first, second = eps_pair
+    before = vec.augmented_csr(first)
+    vec.augmented_csr(second)
+    again = vec.augmented_csr(first)
+    assert again[0] is before[0]
+    ref = SegmentCellMaps(network, grid, vectorized=False)
+    _assert_maps_equal(vec, ref, first)
+    _assert_maps_equal(vec, ref, second)
+
+
+@pytest.fixture(scope="module", params=["london", "berlin", "vienna"])
+def preset_geometry(request):
+    """Network + grid of a scaled-down Figure 4 preset (built once)."""
+    from repro.core.soi import SOIEngine
+    from repro.datagen import build_preset
+
+    city = build_preset(request.param, 0.1)
+    engine = SOIEngine(city.network, city.pois)
+    return city.network, engine.cell_maps.grid
+
+
+@pytest.mark.parametrize("check", [False, True], ids=["plain", "contracts"])
+@pytest.mark.parametrize("descending", [False, True], ids=["asc", "desc"])
+def test_fig4_preset_maps_match_scalar(preset_geometry, check, descending):
+    """Figure 4 presets: the vectorised maps must equal scalar construction
+    for ``eps`` sweeps in both directions, plain and with runtime
+    contracts on (``REPRO_CHECK=1`` semantics, which additionally
+    cross-validates every augment pass in-line)."""
+    from repro.analysis import contracts
+
+    network, grid = preset_geometry
+    sequence = (0.0005, 0.001)
+    if descending:
+        sequence = sequence[::-1]
+    previous = contracts.ENABLED
+    contracts.enable_contracts(check)
+    try:
+        vec = SegmentCellMaps(network, grid, vectorized=True)
+        ref = SegmentCellMaps(network, grid, vectorized=False)
+        for eps in sequence:
+            _assert_maps_equal(vec, ref, eps)
+    finally:
+        contracts.enable_contracts(previous)
+
+
+# -- store layout: CSR fast path vs dict walk ---------------------------------
+
+class _WalkOnly:
+    """Proxy hiding ``segment_ids_column`` so StoreLayout falls back to
+    the original per-segment dict walk."""
+
+    def __init__(self, maps: SegmentCellMaps) -> None:
+        self._maps = maps
+
+    def __getattr__(self, name: str):
+        if name == "segment_ids_column":
+            raise AttributeError(name)
+        return getattr(self._maps, name)
+
+
+@given(network=random_networks(),
+       eps=st.sampled_from(EPS_LADDER))
+@settings(max_examples=25)
+def test_store_layout_csr_matches_dict_walk(network, eps):
+    grid = _grid()
+    maps = SegmentCellMaps(network, grid)
+    fast = StoreLayout(network, maps, eps)
+    walk = StoreLayout(network, _WalkOnly(maps), eps)
+    assert fast.num_slots == walk.num_slots
+    assert fast.num_cells == walk.num_cells
+    assert fast.cells == walk.cells
+    assert fast.cell_index == walk.cell_index
+    assert fast.slot_offsets.tolist() == walk.slot_offsets.tolist()
+    assert fast.slot_cell.tolist() == walk.slot_cell.tolist()
+    assert fast.slot_cells == walk.slot_cells
+    assert fast.cell_counts.tolist() == walk.cell_counts.tolist()
+    assert fast.cell_counts_list == walk.cell_counts_list
+    assert fast.by_cell == walk.by_cell
+    for segs, slots in fast.by_cell.values():
+        assert all(type(d) is int for d in segs)
+        assert all(type(s) is int for s in slots)
+
+
+# -- batched bucketing vs scalar cell assignment ------------------------------
+
+@given(pois=random_pois(min_size=0, max_size=30))
+@settings(max_examples=40)
+def test_bucket_points_matches_scalar_loop(pois):
+    grid = _grid(0.003)
+    xs = np.array([p.x for p in pois], dtype=np.float64)
+    ys = np.array([p.y for p in pois], dtype=np.float64)
+    got = bucket_points(grid, xs, ys)
+    want: dict[tuple[int, int], list[int]] = {}
+    for pos, poi in enumerate(pois):
+        want.setdefault(grid.cell_of(poi.x, poi.y), []).append(pos)
+    assert list(got) == list(want)
+    for cell, positions in want.items():
+        assert got[cell].tolist() == positions
+
+
+@given(points=st.lists(
+    st.tuples(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+              st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)),
+    min_size=1, max_size=40))
+@settings(max_examples=40)
+def test_cells_of_batched_matches_cell_of_with_clamping(points):
+    grid = _grid()
+    xs = np.array([x for x, _y in points], dtype=np.float64)
+    ys = np.array([y for _x, y in points], dtype=np.float64)
+    i, j = grid.cells_of_batched(xs, ys)
+    for pos, (x, y) in enumerate(points):
+        assert (int(i[pos]), int(j[pos])) == grid.cell_of(x, y)

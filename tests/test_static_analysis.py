@@ -385,6 +385,70 @@ def test_p404_stops_at_function_boundaries_and_checked_dirs():
                        config=CONFIG) == []
 
 
+def test_p405_flags_scalar_kernel_in_loop_body():
+    # Planted bug: the pre-vectorisation rasterisation loop, one scalar
+    # exact-distance call per candidate cell.
+    src = ("from repro.geometry.distance import segment_bbox_mindist\n"
+           "def confirm(segments, boxes, eps):\n"
+           "    hits = []\n"
+           "    for seg, box in zip(segments, boxes):\n"
+           "        if segment_bbox_mindist(*seg, box) <= eps:\n"
+           "            hits.append(seg)\n"
+           "    return hits\n")
+    findings = lint_source(src, relpath="repro/index/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-P405"]
+    assert "segment_bbox_mindist" in findings[0].message
+    assert "loop at line 4" in findings[0].message
+    assert "segments_bbox_mindist_batched" in findings[0].hint
+
+
+def test_p405_flags_aliases_and_listed_files():
+    # Alias-aware like REP-P404, and core/state_store.py is opted in by
+    # file (geometry-checked-files) even though core/ is not a checked dir.
+    src = ("import repro.geometry.distance as gdist\n"
+           "from repro.geometry.distance import point_segment_distance as psd\n"
+           "def walk(pois, segs):\n"
+           "    for p in pois:\n"
+           "        for s in segs:\n"
+           "            use(psd(p.x, p.y, *s))\n"
+           "            use(gdist.segment_segment_distance(*s, *s))\n")
+    findings = lint_source(src, relpath="repro/core/state_store.py",
+                           config=CONFIG)
+    assert rules_of(findings) == ["REP-P405", "REP-P405"]
+
+
+def test_p405_fixed_batched_twin_is_silent():
+    # The fix: one batched kernel call over the packed candidate arrays.
+    src = ("from repro.geometry.distance import (\n"
+           "    segment_bbox_mindist,\n"
+           "    segments_bbox_mindist_batched,\n"
+           ")\n"
+           "def confirm(ax, ay, bx, by, boxes, eps):\n"
+           "    dist = segments_bbox_mindist_batched(ax, ay, bx, by, boxes)\n"
+           "    anchor = segment_bbox_mindist(\n"  # once, outside any loop
+           "        ax[0], ay[0], bx[0], by[0], boxes[0])\n"
+           "    return (dist <= eps), anchor\n")
+    assert lint_source(src, relpath="repro/index/x.py", config=CONFIG) == []
+
+
+def test_p405_unchecked_dirs_and_suppression():
+    src = ("from repro.geometry.distance import point_segment_distance\n"
+           "def f(pois, seg):\n"
+           "    for p in pois:\n"
+           "        use(point_segment_distance(p.x, p.y, *seg))\n")
+    # Outside geometry-checked-dirs/files the scalar loop is fine (eval
+    # code paths are not the vectorised cold path).
+    assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
+    suppressed = (
+        "from repro.geometry.distance import point_segment_distance\n"
+        "def f(pois, seg):\n"
+        "    for p in pois:\n"
+        "        use(point_segment_distance(p.x, p.y, *seg))  "
+        "# repro-lint: disable=REP-P405 (scalar reference for REPRO_CHECK)\n")
+    assert lint_source(suppressed, relpath="repro/index/x.py",
+                       config=CONFIG) == []
+
+
 def test_p403_flags_module_level_empty_containers():
     src = ("from collections import OrderedDict, defaultdict\n"
            "_SL2_CACHE = {}\n"
