@@ -54,5 +54,53 @@ python -m repro bench --mode describe --repeats 3 \
 python -m repro bench --mode build --repeats 1 \
     --check-against BENCH_build.json --tolerance 1.5 \
     --out "$SCRATCH"
+# Distributed-tracing smoke: serve a mixed workload on a 2-worker pool
+# with tracing on, and schema-check the stitched cross-process Chrome
+# trace (every request span must resolve to a serve.request parent
+# carrying worker id / queue-wait annotations).  Untimed: this gates the
+# trace plumbing, not throughput.  The script goes through a real file
+# (not stdin) because the spawn start method re-imports __main__ in the
+# worker processes.
+cat > "$SCRATCH/trace_smoke.py" <<'TRACE_SMOKE'
+import json
+import sys
+from pathlib import Path
+
+from repro.core.soi import SOIEngine
+from repro.datagen import build_preset
+from repro.obs.export import validate_serve_trace
+from repro.obs.tracer import tracing_scope
+from repro.serve import EngineServer
+from repro.serve.workload import make_workload
+
+
+def main() -> None:
+    city = build_preset("vienna", scale=0.1)
+    engine = SOIEngine(city.network, city.pois)
+    requests = make_workload(engine, city.photos, num_queries=8, seed=1)
+    trace_path = Path(sys.argv[1]) / "serve_smoke.trace.json"
+    with EngineServer.for_engine(engine, city.photos, workers=2) as server:
+        with tracing_scope(True):
+            server.run(requests)
+        server.export_trace(trace_path)
+    trace = json.loads(trace_path.read_text(encoding="utf-8"))
+    roots = [e for e in trace["traceEvents"]
+             if e["args"]["parent_id"] == -1]
+    problems = validate_serve_trace(trace)
+    if problems:
+        raise SystemExit("stitched trace invalid:\n  "
+                         + "\n  ".join(problems))
+    if len(roots) != len(requests):
+        raise SystemExit(f"expected {len(requests)} serve.request roots, "
+                         f"got {len(roots)}")
+    print(f"trace smoke: {len(roots)} stitched requests, "
+          f"{len(trace['traceEvents']) - len(roots)} worker spans, "
+          f"schema OK")
+
+
+if __name__ == "__main__":
+    main()
+TRACE_SMOKE
+python "$SCRATCH/trace_smoke.py" "$SCRATCH"
 
 echo "ci_smoke: OK"

@@ -48,6 +48,10 @@ class LintConfig:
     # Packages whose timing/telemetry must flow through repro.obs
     # (REP-O501/O502); repro.obs itself is exempt by construction.
     obs_checked_dirs: tuple[str, ...] = ("core", "serve")
+    # Packages whose trace_span names must come from the central
+    # span-name registry (repro.obs.tracer.SPAN_NAMES) — REP-O503 keeps
+    # span cardinality bounded and names typo-free.
+    span_checked_dirs: tuple[str, ...] = ("core", "serve", "index")
     # Where scalar geometry kernels in loop bodies are a perf hazard
     # (REP-P405): the vectorised cold-path builders under index/ plus the
     # store-layout pass.  ``geometry_checked_files`` lists individual

@@ -207,6 +207,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
     from repro.analysis.rules.obs import (
         DirectTimerRule,
         HandRolledCounterRule,
+        SpanNameRegistryRule,
     )
     from repro.analysis.rules.perf import (
         HeapRescanInLoopRule,
@@ -234,6 +235,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         ModuleLevelMutableCacheRule(),
         DirectTimerRule(),
         HandRolledCounterRule(),
+        SpanNameRegistryRule(),
     )
     disabled = set(config.disabled_rules)
     return tuple(rule for rule in rules if rule.id not in disabled)

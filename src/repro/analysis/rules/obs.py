@@ -17,6 +17,12 @@ counters.  Two hazards erode that over time:
   ``repro metrics``); dict bumps that are *algorithmic state* rather
   than telemetry carry a ``# repro-lint: disable=REP-O502`` suppression
   saying so.
+* **REP-O503** — ``trace_span`` call sites in the instrumented packages
+  whose span name is not a string literal from the central registry
+  (:data:`repro.obs.tracer.SPAN_NAMES`).  A typo'd name silently
+  vanishes from every profile that filters by name, and dynamic names
+  give the trace unbounded cardinality; new instrumentation sites
+  register their name in the table first.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from typing import Iterator
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import FileContext, Rule
+from repro.obs.tracer import SPAN_NAMES
 
 _TIMER_CALLS = frozenset({
     "time.time", "time.time_ns",
@@ -132,4 +139,46 @@ class HandRolledCounterRule(Rule):
             return "<subscript>"
 
 
-__all__ = ["DirectTimerRule", "HandRolledCounterRule"]
+_TRACE_SPAN_CALLS = frozenset({
+    "repro.obs.tracer.trace_span",
+    "repro.obs.trace_span",
+    "trace_span",  # star-import fallback; the dirs never shadow the name
+})
+
+
+class SpanNameRegistryRule(Rule):
+    id = "REP-O503"
+    name = "span-name-registry"
+    hint = ("span names under the instrumented packages come from the "
+            "central table repro.obs.tracer.SPAN_NAMES — register the "
+            "new name there (keeps cardinality bounded and names "
+            "typo-free), and keep the call-site name a string literal")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(ctx.config.span_checked_dirs):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.canonical_call_name(node.func)
+            if dotted not in _TRACE_SPAN_CALLS:
+                continue
+            if not node.args:
+                continue  # a syntax error the runtime reports itself
+            name_arg = node.args[0]
+            if not (isinstance(name_arg, ast.Constant)
+                    and isinstance(name_arg.value, str)):
+                yield self.finding(
+                    ctx, node,
+                    "trace_span name is not a string literal — dynamic "
+                    "span names give the trace unbounded cardinality")
+                continue
+            if name_arg.value not in SPAN_NAMES:
+                yield self.finding(
+                    ctx, node,
+                    f"span name {name_arg.value!r} is not registered in "
+                    f"repro.obs.tracer.SPAN_NAMES")
+
+
+__all__ = ["DirectTimerRule", "HandRolledCounterRule",
+           "SpanNameRegistryRule"]

@@ -16,7 +16,13 @@ Six subcommands cover the everyday workflow without writing Python:
 * ``repro metrics``  — run a small query workload and dump the unified
   :mod:`repro.obs` metrics registry (counters, gauges, latency
   histograms), optionally with the span self-time profile and the slow
-  query log.
+  query log; ``--openmetrics`` emits the registry in OpenMetrics/
+  Prometheus text format and ``--slowlog-json`` dumps the slow-query
+  log (with trace ids) as JSON;
+* ``repro top``      — replay a serving workload through a live
+  :class:`~repro.serve.server.EngineServer` and render rolling QPS,
+  in-flight/queue depth, per-worker heartbeat age and latency quantiles
+  until the workload drains.
 
 ``repro soi --check`` / ``repro describe --check`` additionally enable the
 runtime invariant contracts of :mod:`repro.analysis.contracts` for the
@@ -131,10 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(ignored with --mode throughput)")
     bench.add_argument("--trace-out", type=Path, default=None,
                        metavar="DIR",
-                       help="latency modes only: additionally run each "
-                            "sweep point once with span tracing on and "
-                            "write a Chrome trace-event file per point "
-                            "into DIR (open at chrome://tracing)")
+                       help="latency modes: additionally run each sweep "
+                            "point once with span tracing on and write a "
+                            "Chrome trace-event file per point into DIR; "
+                            "throughput mode: serve one traced replay per "
+                            "city and write the stitched cross-process "
+                            "trace (open at chrome://tracing)")
     bench.add_argument("--cities", nargs="+", default=None,
                        metavar="PRESET",
                        help="city presets to measure (default: "
@@ -220,6 +228,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="arm the slow-query log at this threshold "
                               "(0 records every query) and print what "
                               "it captured")
+    metrics.add_argument("--openmetrics", action="store_true",
+                         help="emit the registry in OpenMetrics/"
+                              "Prometheus text format instead of the "
+                              "table (stable sorted output, no "
+                              "timestamps)")
+    metrics.add_argument("-o", "--openmetrics-out", type=Path,
+                         default=None, metavar="FILE",
+                         help="with --openmetrics: write the exposition "
+                              "to FILE instead of stdout")
+    metrics.add_argument("--slowlog-json", action="store_true",
+                         help="dump the slow-query log as JSON (entries "
+                              "carry trace ids joinable against stitched "
+                              "Chrome traces); implies --slow-threshold 0 "
+                              "unless one is given")
+
+    top = sub.add_parser(
+        "top",
+        help="live serve telemetry: QPS, queue depth, worker heartbeats",
+        description="Replay a seeded mixed workload through a live "
+                    "EngineServer pool and render a telemetry frame per "
+                    "interval — rolling QPS, in-flight/queue depth, "
+                    "per-worker heartbeat age and state (a stalled "
+                    "worker is flagged, not just a crashed one), shared-"
+                    "memory resident bytes, and live p50/p90/p99 per "
+                    "request kind from the merged latency sketches.")
+    top.add_argument("--data", type=Path, required=True,
+                     help="directory written by 'repro generate'")
+    top.add_argument("--workers", type=int, default=2,
+                     help="worker processes (default 2)")
+    top.add_argument("--queries", type=int, default=32,
+                     help="workload size (default 32)")
+    top.add_argument("--seed", type=int, default=0,
+                     help="workload RNG seed")
+    top.add_argument("--batch", type=int, default=1,
+                     help="per-worker micro-batch size (default 1)")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="seconds between frames (default 0.5)")
+    top.add_argument("--frames", type=int, default=None,
+                     help="stop after N frames (default: run until the "
+                          "workload drains)")
+    top.add_argument("--stall-after", type=float, default=None,
+                     metavar="SECONDS",
+                     help="heartbeat age past which a live worker is "
+                          "reported as stalled")
     return parser
 
 
@@ -389,7 +441,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run = bench.bench_throughput(
             cities, workers=args.workers, concurrency=args.concurrency,
             queries=args.queries, seed=args.seed, scale=args.scale,
-            jobs=args.jobs, verify=args.verify, micro_batch=args.batch)
+            jobs=args.jobs, verify=args.verify, micro_batch=args.batch,
+            trace_out=args.trace_out)
         path = args.out / bench.SERVE_REPORT
         bench.append_serve_run(run, path)
         produced["serve"] = run
@@ -471,10 +524,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     from repro.obs.metrics import REGISTRY
     from repro.obs.slowlog import SLOWLOG
-    from repro.obs.tracer import TRACER, enable_tracing
+    from repro.obs.tracer import DROPPED_SPANS_METRIC, TRACER, enable_tracing
 
     if args.trace:
         enable_tracing()
+    if args.slowlog_json and args.slow_threshold is None:
+        args.slow_threshold = 0.0
     if args.slow_threshold is not None:
         SLOWLOG.configure(args.slow_threshold)
     network, pois, _photos = _load_city(args.data)
@@ -483,6 +538,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     for _repeat in range(max(1, args.repeat)):
         engine.top_k(args.keywords, k=args.k, eps=args.eps)
     dump = REGISTRY.to_dict()
+    if args.slowlog_json:
+        print(json.dumps({"slow_queries": SLOWLOG.records()},
+                         indent=2, sort_keys=True))
+        return 0
+    if args.openmetrics:
+        from repro.obs.openmetrics import registry_to_openmetrics
+
+        text = registry_to_openmetrics(dump)
+        if args.openmetrics_out is not None:
+            args.openmetrics_out.write_text(text, encoding="utf-8")
+            print(f"wrote {args.openmetrics_out}")
+        else:
+            sys.stdout.write(text)
+        return 0
     if args.json:
         payload: dict = {"metrics": dump}
         if args.trace:
@@ -515,15 +584,88 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                            histogram_rows, title="latency histograms"))
     if args.trace:
         _print_span_profile(mark)
+        dropped = REGISTRY.counter(DROPPED_SPANS_METRIC) or TRACER.dropped
+        if dropped:
+            print(f"warning: {dropped} span(s) dropped from the tracer "
+                  f"ring buffer — the profile above is truncated")
     if args.slow_threshold is not None:
         records = SLOWLOG.records()
         print(f"slow-query log (threshold {args.slow_threshold:g}s): "
               f"{len(records)} record(s)")
         for record in records:
+            trace_id = record.get("trace_id") or "-"
             print(f"  {record['kind']} {record['descriptor']} "
                   f"took {record['seconds']:.6f}s "
-                  f"({len(record['spans'])} spans)")
+                  f"({len(record['spans'])} spans, trace {trace_id})")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve.server import DEFAULT_STALL_AFTER_S, EngineServer
+    from repro.serve.workload import make_workload
+
+    stall_after = (DEFAULT_STALL_AFTER_S if args.stall_after is None
+                   else args.stall_after)
+    network, pois, photos = _load_city(args.data)
+    engine = SOIEngine(network, pois)
+    requests = make_workload(engine, photos, num_queries=args.queries,
+                             seed=args.seed)
+    print(f"repro top — {len(requests)} requests, {args.workers} worker(s), "
+          f"micro-batch {args.batch}")
+    with EngineServer.for_engine(engine, photos, workers=args.workers,
+                                 micro_batch=args.batch) as server:
+        failure: list[BaseException] = []
+
+        def pump() -> None:
+            try:
+                server.run(requests)
+            except BaseException as exc:  # repro-lint: disable=REP-H302 (background pump thread: the failure is surfaced to the user after the frames)
+                failure.append(exc)
+
+        runner = threading.Thread(target=pump, name="repro-top-pump",
+                                  daemon=True)
+        runner.start()
+        frames = 0
+        while runner.is_alive():
+            runner.join(timeout=args.interval)
+            frames += 1
+            _print_top_frame(server.telemetry(stall_after_s=stall_after))
+            if args.frames is not None and frames >= args.frames:
+                break
+        runner.join()
+        _print_top_frame(server.telemetry(stall_after_s=stall_after),
+                         final=True)
+        if failure:
+            print(f"error: workload failed: {failure[0]}")
+            return 1
+    return 0
+
+
+def _print_top_frame(telemetry: dict, final: bool = False) -> None:
+    """Render one ``repro top`` frame from an EngineServer telemetry dict."""
+    shm_mib = telemetry["shm_bytes"] / (1024 * 1024)
+    tag = "final" if final else "live"
+    print(f"[{tag}] qps {telemetry['qps']:.1f} | "
+          f"inflight {telemetry['inflight']} | "
+          f"queue {telemetry['queue_depth']} | "
+          f"done {telemetry['completed_total']} | "
+          f"shm {shm_mib:.1f} MiB")
+    for worker in telemetry["workers"]:
+        last = worker["last_seq"]
+        print(f"  worker {worker['worker']}: {worker['status']:<7} "
+              f"state {worker['state']:<8} "
+              f"beat {worker['heartbeat_age_s']:.2f}s ago  "
+              f"last req {'-' if last is None else last}")
+    kinds = telemetry["latency"]["kinds"]
+    for kind in sorted(kinds):
+        stats = kinds[kind]
+        print(f"  {kind}: n={stats['count']} "
+              f"p50 {stats['p50_s'] * 1e3:.2f}ms "
+              f"p90 {stats['p90_s'] * 1e3:.2f}ms "
+              f"p99 {stats['p99_s'] * 1e3:.2f}ms "
+              f"(slowest {stats['slowest'] or '-'})")
 
 
 _COMMANDS = {
@@ -534,6 +676,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "lint": run_lint,
     "metrics": _cmd_metrics,
+    "top": _cmd_top,
 }
 
 

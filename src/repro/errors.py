@@ -67,6 +67,16 @@ class WorkerCrashError(ReproError):
     releases and unlinks its shared-memory snapshots."""
 
 
+class WorkerStallError(ReproError):
+    """A serving worker process is alive but has stopped heartbeating.
+
+    Raised by :meth:`repro.serve.server.EngineServer.check_worker_health`
+    when a worker's heartbeat age exceeds the stall threshold while the
+    process itself is still running — the situation ``repro top`` shows
+    as *stalled*, as opposed to *crashed* (dead process,
+    :class:`WorkerCrashError`)."""
+
+
 class ContractViolation(ReproError):
     """A runtime invariant of the paper's algorithms was violated.
 

@@ -10,6 +10,17 @@ Chrome format: one complete-event (``"ph": "X"``) per span, timestamps
 and durations in microseconds relative to the earliest span start, thread
 ids mapped to small integers.  Load the file at ``chrome://tracing`` or
 https://ui.perfetto.dev.
+
+Cross-process stitching: serving workers trace into their own ring
+buffers with their own ``perf_counter_ns`` origins, so worker timestamps
+are **not comparable** to the parent's.  :func:`stitch_serve_requests`
+never compares the two clocks — it shifts each request's worker-span
+window so it *ends* at the parent-observed arrival time (durations, which
+are origin-free, are preserved exactly), re-keys span ids into one id
+space, and hangs each worker tree under a synthesized ``serve.request``
+parent span carrying worker id / queue-wait / batch-group annotations.
+:func:`validate_serve_trace` is the CI-smoke schema check over the
+resulting Chrome file.
 """
 
 from __future__ import annotations
@@ -88,6 +99,8 @@ def spans_to_chrome(spans: Sequence[SpanRecord]) -> dict:
     for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
         tid = tids.setdefault(span.thread_id, len(tids))
         args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
         if span.attrs:
             args.update(span.attrs)
         events.append({
@@ -108,6 +121,141 @@ def write_chrome_trace(path: str | Path, spans: Sequence[SpanRecord]) -> Path:
     return path
 
 
+# -- cross-process stitching -------------------------------------------------
+
+def stitch_serve_requests(requests: Sequence[dict]) -> list[SpanRecord]:
+    """Stitch per-request worker span shipments into one span forest.
+
+    ``requests`` is the server's trace log: one dict per completed request
+    with keys ``seq``, ``trace_id``, ``worker``, ``kind``, ``submit_ns``,
+    ``arrival_ns`` (parent-clock nanoseconds), ``queue_wait_s``,
+    ``batch_group``, and ``worker_spans`` (the worker's
+    :meth:`~repro.obs.tracer.SpanRecord.to_dict` dumps for that request).
+
+    For each request a ``serve.request`` parent span spanning
+    ``[submit, arrival]`` on the parent clock is synthesized, and the
+    worker's spans are rebased onto the parent clock by a per-request
+    shift that aligns the *end* of the worker-span window with the
+    arrival time — worker and parent ``perf_counter_ns`` origins are
+    never compared, only origin-free durations survive.  Span ids are
+    re-keyed into one contiguous id space (worker buffers reuse ids
+    across processes); each worker's spans land on a synthetic thread id
+    of ``worker + 1`` so every worker gets its own track in the Chrome
+    view (parent spans sit on track ``0``).
+    """
+    stitched: list[SpanRecord] = []
+    next_id = 0
+    for req in sorted(requests, key=lambda r: r["seq"]):
+        worker_spans = [SpanRecord.from_dict(d)
+                        for d in req.get("worker_spans") or ()]
+        submit_ns = int(req["submit_ns"])
+        arrival_ns = int(req["arrival_ns"])
+        parent_start = submit_ns
+        shift = 0
+        if worker_spans:
+            shift = arrival_ns - max(s.end_ns for s in worker_spans)
+            # Durations are real time in both processes, so the shifted
+            # window normally fits inside [submit, arrival]; if scheduler
+            # jitter makes it poke out on the left, widen the parent
+            # instead of truncating the child.
+            parent_start = min(
+                parent_start,
+                min(s.start_ns for s in worker_spans) + shift)
+        parent_id = next_id
+        next_id += 1
+        attrs = {"seq": int(req["seq"])}
+        for key in ("worker", "kind", "queue_wait_s", "batch_group"):
+            if req.get(key) is not None:
+                attrs[key] = req[key]
+        stitched.append(SpanRecord(
+            span_id=parent_id, parent_id=-1, name="serve.request",
+            start_ns=parent_start, end_ns=arrival_ns, thread_id=0,
+            attrs=attrs, trace_id=req.get("trace_id")))
+        key_map = {}
+        for span in worker_spans:
+            key_map[span.span_id] = next_id
+            next_id += 1
+        track = int(req.get("worker", 0)) + 1
+        for span in worker_spans:
+            stitched.append(SpanRecord(
+                span_id=key_map[span.span_id],
+                parent_id=key_map.get(span.parent_id, parent_id),
+                name=span.name,
+                start_ns=span.start_ns + shift,
+                end_ns=span.end_ns + shift,
+                thread_id=track,
+                attrs=span.attrs,
+                trace_id=span.trace_id or req.get("trace_id")))
+    return stitched
+
+
+_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid", "args")
+_NEST_SLACK_US = 0.01  # microsecond rounding slack for containment checks
+
+
+def validate_serve_trace(trace: dict) -> list[str]:
+    """Schema-check a stitched Chrome trace; returns problem strings.
+
+    Asserts the shape the CI smoke relies on: every event is a complete
+    event with the expected keys, timestamps are monotonic (sorted by
+    ``ts``) and non-negative, every non-``serve.request`` span's parent
+    id resolves to a present event that temporally contains it (no
+    orphan parents), and every ``serve.request`` span is a root carrying
+    the worker id and queue-wait annotations.  An empty list means the
+    trace is valid.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    by_id: dict[int, dict] = {}
+    previous_ts = None
+    for index, event in enumerate(events):
+        missing = [k for k in _EVENT_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {index}: missing keys {missing}")
+            continue
+        if event["ph"] != "X":
+            problems.append(f"event {index}: ph={event['ph']!r}, expected 'X'")
+        if event["ts"] < 0 or event["dur"] < 0:
+            problems.append(f"event {index}: negative ts/dur")
+        if previous_ts is not None and event["ts"] < previous_ts:
+            problems.append(f"event {index}: ts not monotonic")
+        previous_ts = event["ts"]
+        by_id[event["args"].get("span_id")] = event
+    for index, event in enumerate(events):
+        if "name" not in event or "args" not in event:
+            continue  # already reported above
+        args = event["args"]
+        parent_id = args.get("parent_id", -1)
+        if parent_id == -1:
+            # Roots must be the synthesized serve.request parents, each
+            # carrying the stitching annotations.
+            if event["name"] != "serve.request":
+                problems.append(
+                    f"event {index} ({event['name']}): root span is not "
+                    f"serve.request")
+                continue
+            for key in ("worker", "queue_wait_s", "trace_id"):
+                if key not in args:
+                    problems.append(
+                        f"event {index}: serve.request missing {key!r}")
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"event {index} ({event['name']}): orphan parent "
+                f"{parent_id}")
+            continue
+        if (event["ts"] + _NEST_SLACK_US < parent["ts"]
+                or event["ts"] + event["dur"]
+                > parent["ts"] + parent["dur"] + _NEST_SLACK_US):
+            problems.append(
+                f"event {index} ({event['name']}): not contained in "
+                f"parent {parent_id}")
+    return problems
+
+
 __all__ = [
     "build_tree",
     "roots",
@@ -115,6 +263,8 @@ __all__ = [
     "self_times_ns",
     "spans_to_chrome",
     "spans_to_jsonl",
+    "stitch_serve_requests",
+    "validate_serve_trace",
     "write_chrome_trace",
     "write_jsonl",
 ]

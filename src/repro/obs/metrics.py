@@ -93,6 +93,139 @@ class Histogram:
             self.buckets[exp] = self.buckets.get(exp, 0) + int(n)
 
 
+class QuantileSketch:
+    """Mergeable streaming quantile sketch over the log2 buckets.
+
+    Per bucket it keeps the observation count, the exact min/max seen,
+    and an *exemplar*: the trace id of the slowest observation that
+    landed in the bucket.  Quantiles are answered by nearest-rank walk
+    over the cumulative bucket counts — the returned value is the
+    bucket's observed maximum, so the true order statistic is always
+    inside ``[bucket_min(q), quantile(q)]``, a rank error bounded by one
+    log2 bucket.  No samples are stored: the sketch is O(#buckets)
+    regardless of stream length.
+
+    Merging is **commutative and associative** like the rest of the
+    registry: counts and sums add, per-bucket min/max fold with min/max,
+    and the exemplar of the larger per-bucket maximum wins (ties broken
+    by the lexicographically smaller trace id), so worker dumps merge to
+    the same sketch in any arrival order.
+    """
+
+    __slots__ = ("count", "sum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        # exp -> [count, min, max, exemplar trace id or None]
+        self.buckets: dict[int, list] = {}
+
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        exp = bucket_exponent(value)
+        bucket = self.buckets.get(exp)
+        if bucket is None:
+            self.buckets[exp] = [1, value, value, exemplar]
+            return
+        bucket[0] += 1
+        if value < bucket[1]:
+            bucket[1] = value
+        if value > bucket[2] or (value == bucket[2]  # repro-lint: disable=REP-N201 (deliberate exact tie-break on the recorded max)
+                                 and _exemplar_wins(exemplar, bucket[3])):
+            bucket[2] = value
+            bucket[3] = exemplar
+
+    # -- quantile queries --------------------------------------------------
+
+    def _bucket_at_rank(self, q: float) -> list | None:
+        """The bucket holding the nearest-rank order statistic for ``q``."""
+        if self.count == 0:
+            return None
+        rank = max(1, min(self.count, math.ceil(q * self.count)))
+        cumulative = 0
+        bucket = None
+        for exp in sorted(self.buckets):
+            bucket = self.buckets[exp]
+            cumulative += bucket[0]
+            if cumulative >= rank:
+                return bucket
+        return bucket  # pragma: no cover - counts always telescope
+
+    def quantile(self, q: float) -> float:
+        """Upper estimate of the ``q``-quantile (0..1, nearest rank).
+
+        Returns the observed maximum of the bucket holding the rank: the
+        exact order statistic lies in ``[quantile_bounds(q)[0], this]``.
+        """
+        bucket = self._bucket_at_rank(q)
+        return bucket[2] if bucket is not None else 0.0
+
+    def quantile_bounds(self, q: float) -> tuple[float, float]:
+        """Observed ``[min, max]`` of the bucket holding the ``q``-rank."""
+        bucket = self._bucket_at_rank(q)
+        return (bucket[1], bucket[2]) if bucket is not None else (0.0, 0.0)
+
+    def exemplar(self, q: float) -> str | None:
+        """Trace id of the slowest observation in the ``q``-rank bucket."""
+        bucket = self._bucket_at_rank(q)
+        return bucket[3] if bucket is not None else None
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # -- serialisation / merge ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                str(exp): {"count": bucket[0], "min": bucket[1],
+                           "max": bucket[2], "exemplar": bucket[3]}
+                for exp, bucket in sorted(self.buckets.items())
+            },
+        }
+
+    def merge_dict(self, dump: dict) -> None:
+        self.count += int(dump.get("count", 0))
+        self.sum += float(dump.get("sum", 0.0))
+        for exp, incoming in dump.get("buckets", {}).items():
+            exp = int(exp)
+            other = [int(incoming.get("count", 0)),
+                     float(incoming.get("min", 0.0)),
+                     float(incoming.get("max", 0.0)),
+                     incoming.get("exemplar")]
+            bucket = self.buckets.get(exp)
+            if bucket is None:
+                self.buckets[exp] = other
+                continue
+            bucket[0] += other[0]
+            if other[1] < bucket[1]:
+                bucket[1] = other[1]
+            if other[2] > bucket[2] or (other[2] == bucket[2]  # repro-lint: disable=REP-N201 (deliberate exact tie-break on the recorded max)
+                                        and _exemplar_wins(other[3],
+                                                           bucket[3])):
+                bucket[2] = other[2]
+                bucket[3] = other[3]
+
+
+def _exemplar_wins(candidate: str | None, incumbent: str | None) -> bool:
+    """Deterministic exemplar tie-break at equal bucket maxima.
+
+    A concrete trace id beats ``None``; between two ids the
+    lexicographically smaller one wins, so merge order cannot change
+    which exemplar survives.
+    """
+    if candidate is None:
+        return False
+    if incumbent is None:
+        return True
+    return candidate < incumbent
+
+
 class MetricsRegistry:
     """Named counters, gauges and histograms behind one lock.
 
@@ -108,6 +241,7 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -134,6 +268,20 @@ class MetricsRegistry:
                 hist = self._histograms[name] = Histogram()
             hist.observe(value)
 
+    def observe_sketch(self, name: str, value: float,
+                       exemplar: str | None = None) -> None:
+        """Fold one observation into the named quantile sketch.
+
+        ``exemplar`` is typically the request's trace id: the sketch
+        keeps the id of the slowest observation per bucket, so a reported
+        p99 can be joined back to the concrete trace that produced it.
+        """
+        with self._lock:
+            sketch = self._sketches.get(name)
+            if sketch is None:
+                sketch = self._sketches[name] = QuantileSketch()
+            sketch.observe(value, exemplar)
+
     # -- reading -----------------------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -147,6 +295,15 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram | None:
         with self._lock:
             return self._histograms.get(name)
+
+    def sketch(self, name: str) -> QuantileSketch | None:
+        with self._lock:
+            return self._sketches.get(name)
+
+    def sketch_names(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(name for name in self._sketches
+                          if name.startswith(prefix))
 
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
         """Counters under ``prefix``, keys returned without it."""
@@ -164,6 +321,8 @@ class MetricsRegistry:
                 "gauges": dict(sorted(self._gauges.items())),
                 "histograms": {name: hist.to_dict()
                                for name, hist in sorted(self._histograms.items())},
+                "sketches": {name: sketch.to_dict()
+                             for name, sketch in sorted(self._sketches.items())},
             }
 
     # -- merging / lifecycle -------------------------------------------------
@@ -185,12 +344,18 @@ class MetricsRegistry:
                 if hist is None:
                     hist = self._histograms[name] = Histogram()
                 hist.merge_dict(hdump)
+            for name, sdump in dump.get("sketches", {}).items():
+                sketch = self._sketches.get(name)
+                if sketch is None:
+                    sketch = self._sketches[name] = QuantileSketch()
+                sketch.merge_dict(sdump)
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._sketches.clear()
 
 
 REGISTRY = MetricsRegistry()
@@ -246,6 +411,26 @@ def record_serve_batch(size: int, groups: int,
         reg.inc("serve.batch_grouped", size - groups)
 
 
+def record_serve_request(kind: str, seconds: float,
+                         trace_id: str | None = None, error: bool = False,
+                         registry: MetricsRegistry | None = None) -> None:
+    """Absorb one served request into ``serve.*`` metrics.
+
+    Besides the request counter and latency histogram this feeds the
+    per-kind streaming quantile sketch (``serve.latency.<kind>_s``) with
+    the request's trace id as the exemplar, so the parent can report
+    live p50/p90/p99 per request kind — and name the trace behind a
+    tail observation — without storing samples.
+    """
+    reg = REGISTRY if registry is None else registry
+    reg.inc("serve.requests")
+    if error:
+        reg.inc("serve.errors")
+    reg.observe("serve.request_s", seconds)
+    reg.observe_sketch(f"serve.latency.{kind}_s", seconds,
+                       exemplar=trace_id)
+
+
 def soi_counters(registry: MetricsRegistry | None = None) -> dict[str, int]:
     """Aggregated SOI counters, keyed like ``SOIStats.counters()``."""
     reg = REGISTRY if registry is None else registry
@@ -263,12 +448,14 @@ __all__ = [
     "MAX_EXP",
     "MIN_EXP",
     "MetricsRegistry",
+    "QuantileSketch",
     "REGISTRY",
     "bucket_bounds",
     "bucket_exponent",
     "describe_counters",
     "record_describe_query",
     "record_serve_batch",
+    "record_serve_request",
     "record_soi_query",
     "soi_counters",
 ]

@@ -18,7 +18,7 @@ import os
 from collections import deque
 from typing import Sequence
 
-from repro.obs.tracer import SpanRecord
+from repro.obs.tracer import SpanRecord, current_trace_id
 
 DEFAULT_CAPACITY = 32
 
@@ -51,16 +51,26 @@ class SlowQueryLog:
 
     def maybe_record(self, kind: str, descriptor: dict, seconds: float,
                      counters: dict | None = None,
-                     spans: Sequence[SpanRecord] = ()) -> bool:
-        """Record the query if it is slow enough; returns whether it was."""
+                     spans: Sequence[SpanRecord] = (),
+                     trace_id: str | None = None) -> bool:
+        """Record the query if it is slow enough; returns whether it was.
+
+        ``trace_id`` defaults to the trace id bound to the calling thread
+        (see :class:`repro.obs.tracer.trace_context`), so a slow query
+        found in the log can be joined against the stitched Chrome trace
+        and the latency-sketch exemplars without any caller plumbing.
+        """
         threshold = self.threshold_s
         if threshold is None or seconds < threshold:
             return False
+        if trace_id is None:
+            trace_id = current_trace_id()
         self._records.append({
             "kind": kind,
             "descriptor": dict(descriptor),
             "seconds": seconds,
             "threshold_s": threshold,
+            "trace_id": trace_id,
             "counters": dict(counters) if counters else {},
             "spans": [span.to_dict() for span in spans],
         })

@@ -30,6 +30,21 @@ This module is also the only sanctioned clock source for ``core/`` and
 ``serve/`` code: :func:`perf_now` / :func:`monotonic_now` re-export the
 monotonic timers so the REP-O501 lint rule can flag direct ``time.*``
 timer calls outside :mod:`repro.obs`.
+
+**Trace context.**  A *trace id* is a request-scoped correlation key: the
+serve layer mints one deterministically per request
+(:func:`mint_trace_id`, seeded from the request's sequence number — no
+wall clock, no randomness), binds it with :class:`trace_context`, and
+every span finished inside the binding carries it.  The same id travels
+into slow-query-log entries and latency-sketch exemplars, so a slow
+request found in any one signal can be joined against the others.
+
+**Span-name registry.**  :data:`SPAN_NAMES` is the closed set of span
+names the instrumented packages may use.  Lint rule REP-O503 rejects
+``trace_span`` call sites under ``core/``/``serve/``/``index/`` whose
+name is not in this table (or is not a string literal), which keeps span
+cardinality bounded and names typo-free — a misspelled phase would
+otherwise silently vanish from every profile that filters by name.
 """
 
 from __future__ import annotations
@@ -46,6 +61,33 @@ from time import perf_counter_ns as _clock_ns
 DEFAULT_CAPACITY = 65536
 """Ring-buffer size of the global tracer: enough for several fully traced
 queries; older finished spans are dropped (and counted) beyond it."""
+
+DROPPED_SPANS_METRIC = "obs.trace.dropped_spans"
+"""Registry counter bumped whenever the ring buffer evicts a finished
+span: a nonzero value means traces read from the buffer are truncated."""
+
+SPAN_NAMES = frozenset({
+    # Algorithm 1 (k-SOI: filter / refine round structure).
+    "soi.query", "soi.baseline_query", "soi.build_source_lists",
+    "soi.filter", "soi.pull", "soi.cell_gather", "soi.mass_kernel",
+    "soi.termination_check", "soi.refine",
+    # Algorithm 2 (describe: round / bounds structure).
+    "describe.select", "describe.round", "describe.filter",
+    "describe.refine", "describe.cell_bounds", "describe.fold_bounds",
+    "describe.profile_build",
+    # Index construction and eps-augmentation.
+    "index.build", "index.poi_grid", "index.cell_maps",
+    "index.source_list_orders", "index.store_layout", "index.augment_eps",
+    # Snapshot lifecycle and serving.
+    "snapshot.export", "snapshot.attach", "snapshot.attach_network",
+    "snapshot.attach_pois", "snapshot.attach_photo_set",
+    "snapshot.attach_poi_index", "snapshot.attach_cell_maps",
+    "snapshot.attach_engine",
+    "serve.request",
+})
+"""Central span-name table (see module docstring).  Adding an
+instrumentation site under ``core/``/``serve/``/``index/`` requires
+registering its name here first; REP-O503 enforces it."""
 
 
 def _env_enabled(value: str | None) -> bool:
@@ -91,6 +133,52 @@ class tracing_scope:
         return False
 
 
+# -- trace context ----------------------------------------------------------
+
+_context = threading.local()
+
+
+def mint_trace_id(request_id: int, namespace: str = "req") -> str:
+    """Deterministic request-scoped trace id.
+
+    Derived purely from the request's sequence number (plus an optional
+    caller namespace) — no wall clock, no randomness — so replaying the
+    same workload mints the same ids and traces stay joinable across
+    runs.
+    """
+    return f"{namespace}-{request_id:06d}"
+
+
+def current_trace_id() -> str | None:
+    """The trace id bound to this thread, or ``None`` outside a request."""
+    return getattr(_context, "trace_id", None)
+
+
+class trace_context:
+    """Bind a trace id to the current thread for the ``with`` block.
+
+    Every span finished inside the block (and every slow-query-log entry
+    and sketch exemplar recorded from it) carries the id.  Bindings nest:
+    the previous id is restored on exit, so a request served inside an
+    already-bound scope cannot leak its id outwards.
+    """
+
+    __slots__ = ("_trace_id", "_previous")
+
+    def __init__(self, trace_id: str | None) -> None:
+        self._trace_id = trace_id
+        self._previous: str | None = None
+
+    def __enter__(self) -> "trace_context":
+        self._previous = getattr(_context, "trace_id", None)
+        _context.trace_id = self._trace_id
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _context.trace_id = self._previous
+        return False
+
+
 @dataclass(slots=True)
 class SpanRecord:
     """One finished span: monotonic nanosecond interval plus tree links.
@@ -98,7 +186,9 @@ class SpanRecord:
     ``parent_id`` is ``-1`` for a root span.  ``attrs`` carries the keyword
     attributes given to :class:`trace_span`; a span that exited through an
     exception gains an ``"error"`` attribute holding the exception type
-    name.
+    name.  ``trace_id`` is the request correlation key bound via
+    :class:`trace_context` when the span finished (``None`` outside a
+    request).
     """
 
     span_id: int
@@ -108,6 +198,7 @@ class SpanRecord:
     end_ns: int
     thread_id: int
     attrs: dict | None = None
+    trace_id: str | None = None
 
     @property
     def duration_ns(self) -> int:
@@ -130,7 +221,23 @@ class SpanRecord:
         }
         if self.attrs:
             out["attrs"] = dict(self.attrs)
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output (worker shipping)."""
+        return cls(
+            span_id=int(data["span_id"]),
+            parent_id=int(data["parent_id"]),
+            name=data["name"],
+            start_ns=int(data["start_ns"]),
+            end_ns=int(data["end_ns"]),
+            thread_id=int(data.get("thread_id", 0)),
+            attrs=dict(data["attrs"]) if data.get("attrs") else None,
+            trace_id=data.get("trace_id"),
+        )
 
 
 class Tracer:
@@ -192,12 +299,22 @@ class Tracer:
         record = SpanRecord(
             span_id=span_id, parent_id=parent_id, name=name,
             start_ns=start_ns, end_ns=end_ns,
-            thread_id=threading.get_ident(), attrs=attrs)
+            thread_id=threading.get_ident(), attrs=attrs,
+            trace_id=getattr(_context, "trace_id", None))
         with self._lock:
-            if len(self._buffer) == self.capacity:
+            dropping = len(self._buffer) == self.capacity
+            if dropping:
                 self.dropped += 1
             self._buffer.append(record)
             self.finished_total += 1
+        if dropping:
+            # Surfaced as a registry counter so truncated ring buffers are
+            # never silently misread as complete profiles (the import is
+            # deferred: metrics is a sibling leaf module, but the common
+            # non-dropping path should not even touch it).
+            from repro.obs import metrics as _metrics
+
+            _metrics.REGISTRY.inc(DROPPED_SPANS_METRIC)
         return record
 
     # -- buffer access -----------------------------------------------------
@@ -290,13 +407,18 @@ class trace_span:
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "DROPPED_SPANS_METRIC",
     "ENABLED",
+    "SPAN_NAMES",
     "SpanRecord",
     "TRACER",
     "Tracer",
+    "current_trace_id",
     "enable_tracing",
+    "mint_trace_id",
     "monotonic_now",
     "perf_now",
+    "trace_context",
     "trace_span",
     "tracing_enabled",
     "tracing_scope",

@@ -70,15 +70,18 @@ DESCRIBE_REPORT = "BENCH_describe.json"
 SERVE_REPORT = "BENCH_serve.json"
 BUILD_REPORT = "BENCH_build.json"
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 """Report layout version.  Bumped whenever a field is renamed/removed so
 :func:`compare_reports` can refuse cross-schema comparisons; version 1 is
 the implicit schema of reports written before the field existed.
 Version 3 adds the per-city ``obs`` section (tracer overhead medians and
-span counts) — a pure addition, so :func:`compare_reports` treats 2 and 3
-as mutually comparable (see :data:`COMPARABLE_SCHEMAS`)."""
+span counts); version 4 adds the serve suite's informational
+``obs.latency_sketch`` section (merged quantile-sketch stats, never
+regression-gated).  Both are pure additions, so :func:`compare_reports`
+treats 2, 3 and 4 as mutually comparable (see
+:data:`COMPARABLE_SCHEMAS`)."""
 
-COMPARABLE_SCHEMAS = frozenset({2, 3})
+COMPARABLE_SCHEMAS = frozenset({2, 3, 4})
 """Schema versions whose shared metrics kept their meaning; reports inside
 this set compare against each other, anything else must match exactly."""
 
@@ -604,6 +607,7 @@ def bench_throughput(
     jobs: int | None = None,
     verify: bool = False,
     micro_batch: int = 1,
+    trace_out: Path | None = None,
 ) -> dict:
     """Replay a seeded mixed workload against 1..``workers`` processes.
 
@@ -618,6 +622,16 @@ def bench_throughput(
     ``verify=True`` additionally replays the workload on the in-process
     engine and fails unless every payload is identical (the serving
     layer's accelerator contract).
+
+    At the full pool size each city additionally records an
+    ``obs.latency_sketch`` section — live p50/p90/p99 per request kind
+    and per worker from the merged streaming quantile sketches the
+    workers ship with every response.  The section is informational:
+    its keys are never regression-gated by :func:`compare_reports`.
+    ``trace_out`` (a directory) serves one extra *untimed* traced replay
+    per city at the full pool size and writes the stitched cross-process
+    Chrome trace there, one ``serve.request`` parent span per request
+    with the worker's spans nested beneath it.
     """
     from repro.errors import ReproError
     from repro.serve.server import EngineServer, serve_request
@@ -643,6 +657,7 @@ def bench_throughput(
         inline = ([serve_request(engine, city.photos, request)
                    for request in requests] if verify else None)
         entry: dict = {"num_requests": len(requests), "records": []}
+        full_pool = run["worker_counts"][-1]
         for count in run["worker_counts"]:
             with EngineServer.for_engine(engine, city.photos, workers=count,
                                          micro_batch=micro_batch) as server:
@@ -653,6 +668,19 @@ def bench_throughput(
                 payloads, service = server.run_with_stats(
                     requests, window=concurrency)
                 wall_s = time.perf_counter() - t0
+                if count == full_pool:
+                    # Informational only (see docstring): none of these
+                    # keys match a _metric_direction pattern, so a
+                    # --check-against run never gates on them.
+                    entry["obs.latency_sketch"] = server.latency_summary()
+                    if trace_out is not None:
+                        trace_dir = Path(trace_out)
+                        trace_dir.mkdir(parents=True, exist_ok=True)
+                        with obs_tracer.tracing_scope(True):
+                            server.run(requests, window=concurrency)
+                        trace_path = server.export_trace(
+                            trace_dir / f"serve_{name}.trace.json")
+                        entry["trace_file"] = str(trace_path)
             if inline is not None and payloads != inline:
                 raise ReproError(
                     f"{name}: worker payloads diverged from the in-process "

@@ -27,19 +27,43 @@ Protocol properties:
   :meth:`EngineServer.close` unlinks it even when workers crashed;
   a dead worker surfaces as :class:`~repro.errors.WorkerCrashError`
   instead of a hang.
+* **Observability** — every request is served under a deterministic
+  request-scoped trace id (``req-<seq>``, minted from the sequence number
+  alone).  With tracing enabled at submit time, the worker ships its span
+  buffer for the request back alongside the metrics dump, and the parent
+  stitches all shipments into one cross-process Chrome trace
+  (:meth:`EngineServer.export_trace`) where each ``serve.request`` parent
+  span carries worker id / queue-wait / batch-group annotations.  Workers
+  additionally heartbeat into a shared array on every loop turn, which
+  lets :meth:`EngineServer.worker_health` distinguish a *stalled* worker
+  (alive, heartbeat stale → :class:`~repro.errors.WorkerStallError`) from
+  a *crashed* one (dead process → ``WorkerCrashError``); per-request
+  latency flows into mergeable quantile sketches reported live by
+  :meth:`EngineServer.latency_summary` and ``repro top``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro import errors
 from repro.obs import metrics as obs_metrics
-from repro.obs.tracer import monotonic_now, perf_now, trace_span
+from repro.obs.export import stitch_serve_requests, write_chrome_trace
+from repro.obs.tracer import (
+    TRACER,
+    enable_tracing,
+    mint_trace_id,
+    monotonic_now,
+    perf_now,
+    trace_context,
+    trace_span,
+    tracing_enabled,
+)
 from repro.core.describe import STRelDivDescriber, build_street_profile
 from repro.core.describe.profile import DEFAULT_RHO
 from repro.core.soi import DEFAULT_EPS, AccessStrategy, SOIEngine
@@ -50,6 +74,7 @@ from repro.errors import (
     SnapshotError,
     StaleSnapshotError,
     WorkerCrashError,
+    WorkerStallError,
 )
 from repro.serve.snapshot import IndexSnapshot
 from repro.serve.views import attach_engine, attach_photo_set
@@ -59,6 +84,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _POLL_SECONDS = 0.1
 _DESCRIBER_CACHE_SIZE = 32
+
+_HEARTBEAT_SECONDS = 0.25
+"""Worker loop tick: idle workers wake this often to refresh their
+heartbeat, so a fresh heartbeat means the loop is actually turning."""
+
+DEFAULT_STALL_AFTER_S = 5.0
+"""Default heartbeat age past which a live worker counts as *stalled*.
+Must exceed the longest expected single service time — a worker cannot
+beat in the middle of one query."""
+
+_TRACE_LOG_CAPACITY = 65536
+
+# Worker states published through the shared state array.
+_STATE_STARTING, _STATE_IDLE, _STATE_BUSY = 0, 1, 2
+_STATE_NAMES = {_STATE_STARTING: "starting", _STATE_IDLE: "idle",
+                _STATE_BUSY: "busy"}
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,8 +227,17 @@ def _group_key(request) -> tuple:
     return (2, type(request).__name__)
 
 
-def _worker_main(worker_id: int, tasks, results,
-                 micro_batch: int = 1) -> None:
+def _request_kind(request) -> str:
+    """Short request-kind label used in sketch names and trace args."""
+    if isinstance(request, SOIRequest):
+        return "soi"
+    if isinstance(request, DescribeRequest):
+        return "describe"
+    return type(request).__name__.lower()
+
+
+def _worker_main(worker_id: int, tasks, results, micro_batch: int = 1,
+                 heartbeats=None, states=None) -> None:
     """Worker loop: attach on demand, serve until the ``None`` sentinel.
 
     With ``micro_batch > 1`` each loop turn drains up to that many queued
@@ -198,16 +248,39 @@ def _worker_main(worker_id: int, tasks, results,
     reordering is untouched, and payloads are bit-identical to unbatched
     serving because session caches only memoise exact values.
 
+    ``heartbeats``/``states`` are the parent's shared arrays: the loop
+    stamps ``monotonic_now()`` (a system-wide clock, unlike
+    ``perf_counter``) on every turn — including empty-queue wakeups, which
+    is why the blocking ``get`` carries a timeout — so the parent can
+    tell a worker that stopped making progress from one that is merely
+    idle.  Every request is served under a deterministic
+    :class:`~repro.obs.tracer.trace_context`; when the task asks for
+    tracing, the spans recorded for the request are shipped back (as
+    dicts) in the result tuple for parent-side stitching.
+
     Must stay importable at module level — the pool uses the ``spawn``
     start method, which re-imports this module in the child.
     """
     view: _WorkerView | None = None
     stop = False
+
+    def beat(state: int) -> None:
+        if heartbeats is not None:
+            heartbeats[worker_id] = monotonic_now()
+        if states is not None:
+            states[worker_id] = state
+
+    beat(_STATE_IDLE)
     try:
         while not stop:
-            task = tasks.get()
+            try:
+                task = tasks.get(timeout=_HEARTBEAT_SECONDS)
+            except queue_mod.Empty:
+                beat(_STATE_IDLE)
+                continue
             if task is None:
                 break
+            beat(_STATE_BUSY)
             batch = [task]
             while len(batch) < micro_batch:
                 try:
@@ -229,51 +302,92 @@ def _worker_main(worker_id: int, tasks, results,
             # within one attached view (re-attach resets the group).
             current_key: tuple | None = None
             session = None
-            for seq, shm_name, generation, request in batch:
+            for seq, shm_name, generation, request, trace in batch:
+                trace_id = mint_trace_id(seq)
+                mark = TRACER.mark() if trace else 0
+                previous_enabled = tracing_enabled()
                 started = perf_now()
+                if trace:
+                    enable_tracing(True)
                 try:
-                    if view is not None and view.name != shm_name:
-                        view.close()
-                        view = None
-                        current_key, session = None, None
-                    if view is None:
-                        view = _WorkerView(shm_name)
-                    if view.snapshot.generation != generation:
-                        raise StaleSnapshotError(
-                            f"snapshot {shm_name!r} holds generation "
-                            f"{view.snapshot.generation}, task expects "
-                            f"{generation}")
-                    key = _group_key(request)
-                    if key != current_key:
-                        current_key = key
-                        session = None
-                        if isinstance(request, SOIRequest):
-                            signature = normalize_keywords(request.keywords)
-                            if signature:
-                                session = view.engine.sessions.get(signature)
-                    payload = serve_request(
-                        view.engine, view.photos, request, view.describers,
-                        session=session)
-                    status, body = "ok", payload
-                except ReproError as exc:
-                    status, body = "error", (type(exc).__name__, str(exc))
-                except Exception as exc:  # repro-lint: disable=REP-H302 (worker must not die; the error is reported to the parent verbatim)
-                    status, body = "error", (type(exc).__name__, str(exc))
+                    with trace_context(trace_id):
+                        try:
+                            if view is not None and view.name != shm_name:
+                                view.close()
+                                view = None
+                                current_key, session = None, None
+                            if view is None:
+                                view = _WorkerView(shm_name)
+                            if view.snapshot.generation != generation:
+                                raise StaleSnapshotError(
+                                    f"snapshot {shm_name!r} holds generation "
+                                    f"{view.snapshot.generation}, task "
+                                    f"expects {generation}")
+                            key = _group_key(request)
+                            if key != current_key:
+                                current_key = key
+                                session = None
+                                if isinstance(request, SOIRequest):
+                                    signature = normalize_keywords(
+                                        request.keywords)
+                                    if signature:
+                                        session = view.engine.sessions.get(
+                                            signature)
+                            payload = serve_request(
+                                view.engine, view.photos, request,
+                                view.describers, session=session)
+                            status, body = "ok", payload
+                        except ReproError as exc:
+                            status, body = ("error",
+                                            (type(exc).__name__, str(exc)))
+                        except Exception as exc:  # repro-lint: disable=REP-H302 (worker must not die; the error is reported to the parent verbatim)
+                            status, body = ("error",
+                                            (type(exc).__name__, str(exc)))
+                finally:
+                    if trace:
+                        enable_tracing(previous_enabled)
                 service_s = perf_now() - started
-                registry = obs_metrics.REGISTRY
-                registry.inc("serve.requests")
-                if status == "error":
-                    registry.inc("serve.errors")
-                registry.observe("serve.request_s", service_s)
+                span_dicts = None
+                if trace:
+                    span_dicts = [span.to_dict()
+                                  for span in TRACER.spans_since(mark)]
+                obs_metrics.record_serve_request(
+                    _request_kind(request), service_s, trace_id=trace_id,
+                    error=(status == "error"))
                 # Each response carries the worker's full metrics snapshot;
                 # the parent keeps only the latest dump per worker and
                 # merges them on demand, so worker metrics survive worker
                 # restarts and aggregate centrally without a side channel.
                 results.put((seq, worker_id, status, body, service_s,
-                             registry.to_dict()))
+                             obs_metrics.REGISTRY.to_dict(), span_dicts))
+                beat(_STATE_BUSY)
+            beat(_STATE_IDLE)
     finally:
         if view is not None:
             view.close()
+
+
+_SKETCH_PREFIX = "serve.latency."
+
+
+def _sketch_stats(registry: "obs_metrics.MetricsRegistry") -> dict:
+    """Per-kind quantile stats from a registry's serve-latency sketches."""
+    stats: dict[str, dict] = {}
+    for name in registry.sketch_names(prefix=_SKETCH_PREFIX):
+        sketch = registry.sketch(name)
+        kind = name[len(_SKETCH_PREFIX):]
+        if kind.endswith("_s"):
+            kind = kind[:-2]
+        stats[kind] = {
+            "count": sketch.count,
+            "mean_s": sketch.mean,
+            "p50_s": sketch.quantile(0.5),
+            "p90_s": sketch.quantile(0.9),
+            "p99_s": sketch.quantile(0.99),
+            "max_s": sketch.quantile(1.0),
+            "slowest": sketch.exemplar(1.0),
+        }
+    return stats
 
 
 def _rehydrate_error(type_name: str, message: str) -> ReproError:
@@ -321,12 +435,30 @@ class EngineServer:
         # (updated on every arrival; read by metrics() and crash reports).
         self._worker_metrics: dict[int, dict] = {}
         self._last_done: dict[int, int] = {}
+        # Trace bookkeeping: per-seq submit info for in-flight traced
+        # requests, and the completed-request trace log consumed by
+        # export_trace() (bounded; oldest requests fall off first).
+        self._submit_info: dict[int, dict] = {}
+        self._trace_log: deque[dict] = deque(maxlen=_TRACE_LOG_CAPACITY)
+        # Completion stamps for the rolling-QPS gauge in telemetry().
+        self._completions: deque[float] = deque(maxlen=4096)
+        self._completed_total = 0
+        # Shared heartbeat/state arrays written by the worker loops; seeded
+        # with the spawn time so a worker that never starts reads as stale
+        # rather than as "fresh forever".
+        self._heartbeats = self._ctx.Array("d", workers)
+        self._states = self._ctx.Array("i", workers)
+        spawn_time = monotonic_now()
+        for wid in range(workers):
+            self._heartbeats[wid] = spawn_time
+            self._states[wid] = _STATE_STARTING
         self._closed = False
         self._stale_snapshots: list[IndexSnapshot] = []
         self._workers = [
             self._ctx.Process(
                 target=_worker_main,
-                args=(wid, self._tasks, self._results, micro_batch),
+                args=(wid, self._tasks, self._results, micro_batch,
+                      self._heartbeats, self._states),
                 name=f"repro-serve-{wid}", daemon=True)
             for wid in range(workers)
         ]
@@ -390,10 +522,146 @@ class EngineServer:
         """JSON-ready aggregated worker metrics (see :meth:`metrics`)."""
         return self.metrics().to_dict()
 
+    # -- live telemetry ----------------------------------------------------
+
+    def worker_health(self,
+                      stall_after_s: float = DEFAULT_STALL_AFTER_S) -> list[dict]:
+        """Per-worker liveness report from the shared heartbeat arrays.
+
+        Each entry carries the worker id, pid, published state
+        (``starting``/``idle``/``busy``), heartbeat age in seconds, last
+        completed request, and a ``status`` verdict: ``crashed`` (the
+        process is dead), ``stalled`` (alive but the heartbeat is older
+        than ``stall_after_s`` — a hung worker, e.g. stopped or
+        deadlocked), or ``ok``.  A worker busy on one very long query
+        also reads as stalled: the loop cannot beat mid-query, so pick a
+        threshold above the longest expected service time.
+        """
+        now = monotonic_now()
+        report = []
+        for wid, process in enumerate(self._workers):
+            alive = process.is_alive()
+            age = max(0.0, now - self._heartbeats[wid])
+            if not alive:
+                status = "crashed"
+            elif age > stall_after_s:
+                status = "stalled"
+            else:
+                status = "ok"
+            report.append({
+                "worker": wid,
+                "pid": process.pid,
+                "alive": alive,
+                "state": _STATE_NAMES.get(self._states[wid], "unknown"),
+                "heartbeat_age_s": age,
+                "last_seq": self._last_done.get(wid),
+                "status": status,
+            })
+        return report
+
+    def check_worker_health(
+            self, stall_after_s: float = DEFAULT_STALL_AFTER_S) -> list[dict]:
+        """:meth:`worker_health`, raising on anything other than ``ok``.
+
+        Crashed workers raise :class:`~repro.errors.WorkerCrashError`;
+        stalled (alive but silent) workers raise
+        :class:`~repro.errors.WorkerStallError` — the distinction PR 3's
+        death check could not make.
+        """
+        report = self.worker_health(stall_after_s=stall_after_s)
+        crashed = [r for r in report if r["status"] == "crashed"]
+        if crashed:
+            raise WorkerCrashError(
+                "worker(s) dead: " + ", ".join(
+                    f"worker {r['worker']} (pid {r['pid']})" for r in crashed))
+        stalled = [r for r in report if r["status"] == "stalled"]
+        if stalled:
+            raise WorkerStallError(
+                "worker(s) alive but not heartbeating: " + ", ".join(
+                    f"worker {r['worker']} (pid {r['pid']}, "
+                    f"heartbeat {r['heartbeat_age_s']:.1f}s old, "
+                    f"state {r['state']})" for r in stalled))
+        return report
+
+    def latency_summary(self) -> dict:
+        """Live latency quantiles from the merged worker sketches.
+
+        ``{"kinds": {...}, "workers": {...}}`` — per request kind over
+        all workers, and per worker over all kinds it served.  Values
+        come from the mergeable :class:`~repro.obs.metrics.QuantileSketch`
+        dumps shipped with every response, so no per-request samples are
+        stored anywhere; ``slowest`` is the exemplar trace id of the
+        slowest request, joinable against the slowlog and the stitched
+        Chrome trace.
+        """
+        summary = {"kinds": _sketch_stats(self.metrics()), "workers": {}}
+        for wid in sorted(self._worker_metrics):
+            registry = obs_metrics.MetricsRegistry()
+            registry.merge(self._worker_metrics[wid])
+            summary["workers"][str(wid)] = _sketch_stats(registry)
+        return summary
+
+    def telemetry(self, qps_window_s: float = 5.0,
+                  stall_after_s: float = DEFAULT_STALL_AFTER_S) -> dict:
+        """One ``repro top`` frame: load, queueing, memory and health.
+
+        ``qps`` is completions over the trailing ``qps_window_s`` seconds;
+        ``queue_depth`` is the task queue's current size (``-1`` where the
+        platform cannot report it); ``shm_bytes`` counts every mapped
+        snapshot block including stale generations not yet unlinked.
+        """
+        now = monotonic_now()
+        recent = sum(1 for stamp in self._completions
+                     if now - stamp <= qps_window_s)
+        try:
+            queue_depth = self._tasks.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS only
+            queue_depth = -1
+        shm_bytes = (self._snapshot.nbytes
+                     + sum(s.nbytes for s in self._stale_snapshots))
+        return {
+            "qps": recent / qps_window_s,
+            "inflight": len(self._inflight),
+            "queue_depth": queue_depth,
+            "completed_total": self._completed_total,
+            "shm_bytes": shm_bytes,
+            "snapshot_generation": self._snapshot.generation,
+            "micro_batch": self._micro_batch,
+            "workers": self.worker_health(stall_after_s=stall_after_s),
+            "latency": self.latency_summary(),
+        }
+
+    # -- cross-process tracing ---------------------------------------------
+
+    def trace_requests(self) -> list[dict]:
+        """The completed-request trace log (stitching input), oldest first."""
+        return list(self._trace_log)
+
+    def clear_trace_log(self) -> None:
+        self._trace_log.clear()
+
+    def export_trace(self, path) -> "Path":
+        """Write the stitched cross-process Chrome trace to ``path``.
+
+        Every traced request completed so far becomes one ``serve.request``
+        parent span (worker id / queue-wait / batch-group in ``args``)
+        with the worker's shipped spans rebased and nested beneath it —
+        see :func:`repro.obs.export.stitch_serve_requests` for the clock
+        model.  Load the file at ``chrome://tracing`` or perfetto.
+        """
+        return write_chrome_trace(
+            path, stitch_serve_requests(list(self._trace_log)))
+
     # -- submission / collection ------------------------------------------
 
     def submit(self, request: Request) -> int:
-        """Enqueue one request; returns its sequence number."""
+        """Enqueue one request; returns its sequence number.
+
+        When tracing is enabled in the parent at submit time, the task
+        asks its worker to trace the request and ship the spans back; the
+        submit timestamp, request kind and batch-group key are remembered
+        so the arrival can be stitched into the cross-process trace.
+        """
         if self._closed:
             raise ReproError("EngineServer is closed")
         if (self._source is not None
@@ -404,8 +672,16 @@ class EngineServer:
                 f"{self._source.index_generation}; call refresh()")
         seq = self._next_seq
         self._next_seq += 1
+        trace = tracing_enabled()
+        if trace:
+            self._submit_info[seq] = {
+                "seq": seq,
+                "kind": _request_kind(request),
+                "batch_group": repr(_group_key(request)),
+                "submit_ns": int(perf_now() * 1e9),
+            }
         self._tasks.put((seq, self._snapshot.name,
-                         self._snapshot.generation, request))
+                         self._snapshot.generation, request, trace))
         self._inflight.add(seq)
         return seq
 
@@ -423,7 +699,7 @@ class EngineServer:
                     else monotonic_now() + timeout)
         while True:
             try:
-                seq, wid, status, body, service_s, metrics_dump = \
+                seq, wid, status, body, service_s, metrics_dump, spans = \
                     self._results.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
                 self._check_workers_alive()
@@ -434,9 +710,7 @@ class EngineServer:
                 continue
             self._inflight.discard(seq)
             if wid >= 0:
-                self._last_done[wid] = seq
-                if metrics_dump:
-                    self._worker_metrics[wid] = metrics_dump
+                self._note_arrival(seq, wid, service_s, metrics_dump, spans)
             if status == "error":
                 raise _rehydrate_error(*body)
             return seq, body, service_s
@@ -551,6 +825,32 @@ class EngineServer:
 
     # -- internals --------------------------------------------------------
 
+    def _note_arrival(self, seq: int, wid: int, service_s: float,
+                      metrics_dump: dict | None, spans: list | None) -> None:
+        """Bookkeeping shared by every first-hand arrival (not re-injections):
+        worker metrics/progress, QPS stamps, and — for traced requests —
+        the stitched-trace log entry.  Queue wait is turnaround minus
+        worker-measured service time (both origin-free durations), so no
+        cross-process clock comparison is needed."""
+        self._last_done[wid] = seq
+        if metrics_dump:
+            self._worker_metrics[wid] = metrics_dump
+        self._completions.append(monotonic_now())
+        self._completed_total += 1
+        info = self._submit_info.pop(seq, None)
+        if info is not None:
+            arrival_ns = int(perf_now() * 1e9)
+            turnaround_s = (arrival_ns - info["submit_ns"]) / 1e9
+            info.update(
+                trace_id=mint_trace_id(seq),
+                worker=wid,
+                service_s=service_s,
+                queue_wait_s=max(0.0, turnaround_s - service_s),
+                arrival_ns=arrival_ns,
+                worker_spans=spans or [],
+            )
+            self._trace_log.append(info)
+
     def _check_workers_alive(self) -> None:
         dead = [(wid, p) for wid, p in enumerate(self._workers)
                 if not p.is_alive()]
@@ -558,13 +858,12 @@ class EngineServer:
             # Drain anything that raced in before declaring the loss.
             try:
                 while True:
-                    seq, wid, status, body, service_s, metrics_dump = \
+                    seq, wid, status, body, service_s, metrics_dump, spans = \
                         self._results.get_nowait()
                     self._inflight.discard(seq)
                     if wid >= 0:
-                        self._last_done[wid] = seq
-                        if metrics_dump:
-                            self._worker_metrics[wid] = metrics_dump
+                        self._note_arrival(seq, wid, service_s, metrics_dump,
+                                           spans)
                     self._pending[seq] = (status, body, service_s)
             except queue_mod.Empty:
                 pass
@@ -573,7 +872,7 @@ class EngineServer:
                 # marks a re-injection: bookkeeping already happened above).
                 for seq, (status, body, service_s) in self._pending.items():
                     self._results.put((seq, -1, status, body, service_s,
-                                       None))
+                                       None, None))
                     self._inflight.add(seq)
                 self._pending = {}
                 return

@@ -191,6 +191,45 @@ class TestMetrics:
         assert "soi.filter" in payload["spans"]["self_time_ns"]
         assert payload["slow_queries"]  # threshold 0 records every query
 
+    def test_openmetrics_exposition(self, data_dir, capsys, tmp_path):
+        assert main(["metrics", "--data", str(data_dir),
+                     "--keywords", "shop", "--repeat", "1",
+                     "--openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_soi_queries counter" in out
+        assert "repro_soi_queries_total" in out
+        assert out.endswith("# EOF\n")
+        path = tmp_path / "metrics.prom"
+        assert main(["metrics", "--data", str(data_dir),
+                     "--keywords", "shop", "--repeat", "1",
+                     "--openmetrics", "-o", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "repro_soi_queries_total" in path.read_text(encoding="utf-8")
+
+    def test_slowlog_json_dump_carries_trace_ids(self, data_dir, capsys):
+        import json
+
+        assert main(["metrics", "--data", str(data_dir),
+                     "--keywords", "shop", "--repeat", "1",
+                     "--slowlog-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slow_queries"]  # implied threshold 0 records all
+        assert all("trace_id" in record
+                   for record in payload["slow_queries"])
+
+
+class TestTop:
+    def test_frames_render_load_and_worker_health(self, data_dir, capsys):
+        assert main(["top", "--data", str(data_dir), "--workers", "1",
+                     "--queries", "4", "--frames", "2",
+                     "--interval", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — 4 requests" in out
+        assert "[final] qps" in out
+        assert "worker 0:" in out
+        # The final frame reports the served kinds' live percentiles.
+        assert "p99" in out
+
 
 class TestParser:
     def test_missing_command_rejected(self):

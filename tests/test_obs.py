@@ -249,7 +249,7 @@ def test_registry_counter_and_gauge_api():
     assert registry.counters_with_prefix("soi.") == {"a": 3, "b": 3}
     registry.reset()
     assert registry.to_dict() == \
-        {"counters": {}, "gauges": {}, "histograms": {}}
+        {"counters": {}, "gauges": {}, "histograms": {}, "sketches": {}}
 
 
 # -- exporters ----------------------------------------------------------------

@@ -1,0 +1,379 @@
+"""Obs v2: quantile sketches, trace context, OpenMetrics, trace stitching.
+
+The Hypothesis properties pin the two guarantees the serve layer leans
+on: sketch quantiles bracket the exact order statistic within one log2
+bucket, and merging worker dumps is order-independent — the parent's
+live percentiles cannot depend on response arrival order.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.export import (
+    spans_to_chrome,
+    stitch_serve_requests,
+    validate_serve_trace,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    QuantileSketch,
+    bucket_exponent,
+    record_serve_request,
+)
+from repro.obs.openmetrics import (
+    SUMMARY_QUANTILES,
+    metric_name,
+    registry_to_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracer import (
+    DROPPED_SPANS_METRIC,
+    SPAN_NAMES,
+    TRACER,
+    Tracer,
+    current_trace_id,
+    mint_trace_id,
+    trace_context,
+    trace_span,
+    tracing_scope,
+)
+
+# -- quantile sketch ---------------------------------------------------------
+
+latencies = st.lists(
+    st.floats(min_value=1e-9, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200)
+
+# Integer-valued observations keep every partial sum exact (< 2**53), so
+# order-invariance can be asserted with == instead of approx.
+exact_latencies = st.lists(st.integers(min_value=1, max_value=2**40),
+                           min_size=1, max_size=60)
+
+
+@given(latencies, st.sampled_from([0.5, 0.9, 0.99]))
+def test_sketch_quantiles_bracket_exact_percentile(values, q):
+    """quantile_bounds bracket np.percentile within one log2 bucket."""
+    sketch = QuantileSketch()
+    for value in values:
+        sketch.observe(value)
+    exact = float(np.percentile(values, q * 100, method="inverted_cdf"))
+    low, high = sketch.quantile_bounds(q)
+    assert low <= exact <= high
+    # The bracket never spans more than the one bucket holding the rank.
+    assert bucket_exponent(low) == bucket_exponent(high)
+    # quantile() is the bracket's upper (conservative) edge.
+    assert sketch.quantile(q) == high
+
+
+@given(exact_latencies, st.integers(min_value=0, max_value=60))
+def test_sketch_merge_and_observe_order_never_change_the_result(values, cut):
+    """Worker dumps merge commutatively; observation order is irrelevant."""
+    cut = min(cut, len(values))
+
+    def build(chunk, offset):
+        sketch = QuantileSketch()
+        for i, value in enumerate(chunk):
+            sketch.observe(float(value),
+                           exemplar=mint_trace_id(offset + i))
+        return sketch
+
+    first = build(values[:cut], 0).to_dict()
+    second = build(values[cut:], cut).to_dict()
+    ab = QuantileSketch()
+    ab.merge_dict(first)
+    ab.merge_dict(second)
+    ba = QuantileSketch()
+    ba.merge_dict(second)
+    ba.merge_dict(first)
+    assert ab.to_dict() == ba.to_dict()
+
+    whole = build(values, 0)
+    assert ab.to_dict() == whole.to_dict()
+    reverse = QuantileSketch()
+    for i, value in reversed(list(enumerate(values))):
+        reverse.observe(float(value), exemplar=mint_trace_id(i))
+    assert reverse.to_dict() == whole.to_dict()
+
+
+def test_sketch_exemplar_tie_break_is_deterministic():
+    forward = QuantileSketch()
+    forward.observe(1.5, exemplar="req-000002")
+    forward.observe(1.5, exemplar="req-000001")
+    backward = QuantileSketch()
+    backward.observe(1.5, exemplar="req-000001")
+    backward.observe(1.5, exemplar="req-000002")
+    assert forward.exemplar(1.0) == backward.exemplar(1.0) == "req-000001"
+    # A concrete id always beats None, in either order.
+    anon = QuantileSketch()
+    anon.observe(1.5)
+    anon.observe(1.5, exemplar="req-000009")
+    assert anon.exemplar(1.0) == "req-000009"
+
+
+def test_empty_sketch_answers_zero():
+    sketch = QuantileSketch()
+    assert sketch.quantile(0.99) == 0.0
+    assert sketch.quantile_bounds(0.5) == (0.0, 0.0)
+    assert sketch.exemplar(0.5) is None
+    assert sketch.mean == 0.0
+
+
+def test_record_serve_request_feeds_per_kind_sketch():
+    registry = MetricsRegistry()
+    record_serve_request("soi", 0.5, trace_id="req-000001",
+                         registry=registry)
+    record_serve_request("describe", 0.25, trace_id="req-000002",
+                         error=True, registry=registry)
+    assert registry.counter("serve.requests") == 2
+    assert registry.counter("serve.errors") == 1
+    sketch = registry.sketch("serve.latency.soi_s")
+    assert sketch is not None and sketch.count == 1
+    assert sketch.exemplar(1.0) == "req-000001"
+    assert registry.sketch_names(prefix="serve.latency.") == [
+        "serve.latency.describe_s", "serve.latency.soi_s"]
+
+
+# -- trace context -----------------------------------------------------------
+
+def test_mint_trace_id_is_deterministic():
+    assert mint_trace_id(7) == "req-000007"
+    assert mint_trace_id(7) == mint_trace_id(7)
+    assert mint_trace_id(3, namespace="bench") == "bench-000003"
+
+
+def test_trace_context_binds_nests_and_restores():
+    assert current_trace_id() is None
+    with trace_context("req-000001"):
+        assert current_trace_id() == "req-000001"
+        with trace_context("req-000002"):
+            assert current_trace_id() == "req-000002"
+        assert current_trace_id() == "req-000001"
+    assert current_trace_id() is None
+
+
+def test_finished_spans_carry_the_bound_trace_id():
+    assert "serve.request" in SPAN_NAMES
+    mark = TRACER.mark()
+    with tracing_scope(True):
+        with trace_context("req-000042"):
+            with trace_span("soi.filter"):
+                pass
+        with trace_span("soi.refine"):
+            pass
+    spans = {span.name: span for span in TRACER.spans_since(mark)}
+    assert spans["soi.filter"].trace_id == "req-000042"
+    assert spans["soi.refine"].trace_id is None
+    round_trip = type(spans["soi.filter"]).from_dict(
+        spans["soi.filter"].to_dict())
+    assert round_trip.trace_id == "req-000042"
+
+
+def test_ring_buffer_eviction_bumps_the_dropped_counter():
+    tracer = Tracer(capacity=1)
+    before = REGISTRY.counter(DROPPED_SPANS_METRIC)
+    tracer.finish(tracer.begin("a"))
+    assert tracer.dropped == 0
+    tracer.finish(tracer.begin("b"))
+    assert tracer.dropped == 1
+    assert REGISTRY.counter(DROPPED_SPANS_METRIC) == before + 1
+
+
+# -- slowlog trace ids -------------------------------------------------------
+
+def test_slowlog_entries_default_to_the_bound_trace_id():
+    log = SlowQueryLog(threshold_s=0.0)
+    with trace_context("req-000042"):
+        assert log.maybe_record("soi", {"k": 5}, 0.01)
+    assert log.maybe_record("soi", {}, 0.01, trace_id="req-explicit")
+    assert log.maybe_record("soi", {}, 0.01)  # outside any context
+    ids = [record["trace_id"] for record in log.records()]
+    assert ids == ["req-000042", "req-explicit", None]
+
+
+# -- OpenMetrics exposition --------------------------------------------------
+
+def test_metric_name_sanitisation():
+    assert metric_name("serve.request_s") == "repro_serve_request_s"
+    assert metric_name("soi.phase.pull-2_s") == "repro_soi_phase_pull_2_s"
+    assert metric_name("repro_already") == "repro_already"
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("serve.requests", 3)
+    registry.set_gauge("session.pool_size", 2.0)
+    registry.observe("serve.request_s", 0.75)
+    registry.observe("serve.request_s", 3.0)
+    registry.observe_sketch("serve.latency.soi_s", 0.75,
+                            exemplar="req-000001")
+    registry.observe_sketch("serve.latency.soi_s", 3.0,
+                            exemplar="req-000002")
+    return registry
+
+
+def test_openmetrics_families_and_terminator():
+    text = registry_to_openmetrics(sample_registry())
+    lines = text.splitlines()
+    assert "# TYPE repro_serve_requests counter" in lines
+    assert "repro_serve_requests_total 3" in lines
+    assert "# TYPE repro_session_pool_size gauge" in lines
+    assert "repro_session_pool_size 2" in lines
+    assert "# TYPE repro_serve_request_s histogram" in lines
+    # 0.75 lands in (0.5, 1], 3.0 in (2, 4]; buckets are cumulative.
+    assert 'repro_serve_request_s_bucket{le="1"} 1' in lines
+    assert 'repro_serve_request_s_bucket{le="4"} 2' in lines
+    assert 'repro_serve_request_s_bucket{le="+Inf"} 2' in lines
+    assert "repro_serve_request_s_count 2" in lines
+    assert "# TYPE repro_serve_latency_soi_s summary" in lines
+    assert 'repro_serve_latency_soi_s{quantile="0.5"} 0.75' in lines
+    assert 'repro_serve_latency_soi_s{quantile="0.99"} 3' in lines
+    assert "repro_serve_latency_soi_s_count 2" in lines
+    assert text.endswith("# EOF\n")
+
+
+def test_openmetrics_output_is_stable_and_timestamp_free():
+    registry = sample_registry()
+    text = registry_to_openmetrics(registry)
+    assert text == registry_to_openmetrics(registry)
+    assert text == registry_to_openmetrics(registry.to_dict())
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        # OpenMetrics timestamps would be a third token; we never emit them.
+        assert len(line.split(" ")) == 2, line
+
+
+def test_openmetrics_summary_matches_sketch_quantiles():
+    registry = sample_registry()
+    sketch = registry.sketch("serve.latency.soi_s")
+    text = registry_to_openmetrics(registry)
+    for q in SUMMARY_QUANTILES:
+        needle = f'repro_serve_latency_soi_s{{quantile="{q}"}}'
+        line = next(line for line in text.splitlines()
+                    if line.startswith(needle))
+        assert float(line.split(" ")[1]) == sketch.quantile(q)
+
+
+def test_write_openmetrics_round_trips(tmp_path):
+    registry = sample_registry()
+    path = write_openmetrics(tmp_path / "metrics.prom", registry)
+    assert path.read_text(encoding="utf-8") == \
+        registry_to_openmetrics(registry)
+
+
+# -- cross-process stitching -------------------------------------------------
+
+def worker_span(span_id, parent_id, name, start_ns, end_ns, **attrs):
+    """A shipped worker span dict (``SpanRecord.to_dict`` shape)."""
+    out = {"span_id": span_id, "parent_id": parent_id, "name": name,
+           "start_ns": start_ns, "end_ns": end_ns,
+           "duration_ns": end_ns - start_ns, "thread_id": 1234}
+    if attrs:
+        out["attrs"] = attrs
+    return out
+
+
+def fake_request(seq, worker, worker_spans, submit_ns, arrival_ns):
+    return {"seq": seq, "trace_id": mint_trace_id(seq), "worker": worker,
+            "kind": "soi", "submit_ns": submit_ns, "arrival_ns": arrival_ns,
+            "queue_wait_s": 0.001, "batch_group": "('soi', ('x',))",
+            "worker_spans": worker_spans}
+
+
+def two_request_log():
+    # Worker clocks start at wildly different origins than the parent's.
+    worker0 = [worker_span(0, 1, "soi.filter",
+                           7_000_000_100, 7_000_000_600, k=5),
+               worker_span(1, -1, "soi.query", 7_000_000_000, 7_000_001_000)]
+    worker1 = [worker_span(0, -1, "describe.select",
+                           99_000_000_000, 99_000_002_000)]
+    return [fake_request(0, 0, worker0, submit_ns=1_000, arrival_ns=5_000),
+            fake_request(1, 1, worker1, submit_ns=2_000, arrival_ns=9_000)]
+
+
+def test_stitching_rebases_worker_spans_onto_the_parent_clock():
+    stitched = stitch_serve_requests(two_request_log())
+    by_name = {span.name: span for span in stitched}
+    roots = [span for span in stitched if span.parent_id == -1]
+    assert [span.name for span in roots] == ["serve.request"] * 2
+    assert [span.attrs["seq"] for span in roots] == [0, 1]
+    assert roots[0].attrs["worker"] == 0
+    assert roots[0].attrs["queue_wait_s"] == 0.001
+    assert roots[0].trace_id == "req-000000"
+    # The worker window ends exactly at the parent-observed arrival, and
+    # origin-free durations survive the shift bit-for-bit.
+    query = by_name["soi.query"]
+    assert query.end_ns == 5_000
+    assert query.duration_ns == 1_000
+    assert query.parent_id == roots[0].span_id
+    child = by_name["soi.filter"]
+    assert child.parent_id == query.span_id
+    assert child.duration_ns == 500
+    assert child.attrs == {"k": 5}
+    assert child.trace_id == "req-000000"  # inherited from the request
+    # Each worker renders on its own synthetic track; parents on track 0.
+    assert roots[0].thread_id == 0
+    assert child.thread_id == 1
+    assert by_name["describe.select"].thread_id == 2
+    # Ids were re-keyed into one space (workers reuse ids across processes).
+    ids = [span.span_id for span in stitched]
+    assert len(ids) == len(set(ids))
+
+
+def test_stitching_widens_the_parent_when_the_window_pokes_left():
+    # A 5000ns worker window cannot fit in [8000, 9000]ns of parent time:
+    # scheduler jitter made the queue-wait estimate too small.  The parent
+    # span widens left rather than truncating the child.
+    spans = [worker_span(0, -1, "soi.query", 50_000, 55_000)]
+    stitched = stitch_serve_requests(
+        [fake_request(0, 0, spans, submit_ns=8_000, arrival_ns=9_000)])
+    parent, child = stitched
+    assert child.start_ns == 4_000 and child.end_ns == 9_000
+    assert parent.start_ns == 4_000 and parent.end_ns == 9_000
+    assert validate_serve_trace(spans_to_chrome(stitched)) == []
+
+
+def test_stitched_trace_validates_and_catches_planted_defects():
+    stitched = stitch_serve_requests(two_request_log())
+    trace = spans_to_chrome(stitched)
+    assert validate_serve_trace(trace) == []
+    # Planted defect 1: a root missing its worker annotation.
+    broken = json.loads(json.dumps(trace))
+    root = next(event for event in broken["traceEvents"]
+                if event["args"]["parent_id"] == -1)
+    del root["args"]["worker"]
+    assert any("missing 'worker'" in problem
+               for problem in validate_serve_trace(broken))
+    # Planted defect 2: a child pointing at an absent parent.
+    broken = json.loads(json.dumps(trace))
+    child = next(event for event in broken["traceEvents"]
+                 if event["args"]["parent_id"] != -1)
+    child["args"]["parent_id"] = 9999
+    assert any("orphan parent" in problem
+               for problem in validate_serve_trace(broken))
+    # Planted defect 3: a root that is not a serve.request span.
+    broken = json.loads(json.dumps(trace))
+    next(event for event in broken["traceEvents"]
+         if event["args"]["parent_id"] == -1)["name"] = "soi.query"
+    assert any("not serve.request" in problem
+               for problem in validate_serve_trace(broken))
+    assert validate_serve_trace({}) == ["traceEvents missing or not a list"]
+
+
+def test_stitching_untraced_requests_yields_bare_parents():
+    request = fake_request(3, 1, [], submit_ns=100, arrival_ns=900)
+    request["worker_spans"] = None  # untraced: no shipment at all
+    stitched = stitch_serve_requests([request])
+    assert len(stitched) == 1
+    assert stitched[0].name == "serve.request"
+    assert stitched[0].start_ns == 100 and stitched[0].end_ns == 900
+    assert validate_serve_trace(spans_to_chrome(stitched)) == []
+    assert stitch_serve_requests([]) == []

@@ -555,6 +555,57 @@ def test_o502_suppression_with_reason_is_honoured():
     assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
 
 
+def test_o503_flags_unregistered_span_name():
+    # Planted bug: a typo'd span name ("soi.fliter") would silently vanish
+    # from every profile that filters by the registered name.
+    src = ("from repro.obs.tracer import trace_span\n"
+           "def f():\n"
+           "    with trace_span('soi.fliter'):\n"
+           "        pass\n")
+    findings = lint_source(src, relpath="repro/core/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-O503"]
+    assert "soi.fliter" in findings[0].message
+    # Dynamic names are unbounded cardinality — also flagged.
+    dynamic = ("from repro.obs.tracer import trace_span\n"
+               "def f(name):\n"
+               "    with trace_span('soi.' + name):\n"
+               "        pass\n")
+    findings = lint_source(dynamic, relpath="repro/serve/x.py", config=CONFIG)
+    assert rules_of(findings) == ["REP-O503"]
+
+
+def test_o503_fixed_silent_twin():
+    # The fixed twin — a registered literal name — is silent, in every
+    # checked dir and through either import path.
+    for relpath in ("repro/core/x.py", "repro/serve/x.py", "repro/index/x.py"):
+        src = ("from repro.obs.tracer import trace_span\n"
+               "def f():\n"
+               "    with trace_span('soi.filter', k=3):\n"
+               "        pass\n")
+        assert lint_source(src, relpath=relpath, config=CONFIG) == []
+    via_package = ("from repro.obs import trace_span\n"
+                   "def f():\n"
+                   "    with trace_span('serve.request'):\n"
+                   "        pass\n")
+    assert lint_source(via_package, relpath="repro/serve/x.py",
+                       config=CONFIG) == []
+    # Outside the span-checked dirs the rule does not apply (eval/ may
+    # trace ad-hoc), and decorator usage is checked like the CM form.
+    unchecked = ("from repro.obs.tracer import trace_span\n"
+                 "def f():\n"
+                 "    with trace_span('anything.goes'):\n"
+                 "        pass\n")
+    assert lint_source(unchecked, relpath="repro/eval/x.py",
+                       config=CONFIG) == []
+    decorator = ("from repro.obs.tracer import trace_span\n"
+                 "@trace_span('not.registered')\n"
+                 "def f():\n"
+                 "    pass\n")
+    findings = lint_source(decorator, relpath="repro/index/x.py",
+                           config=CONFIG)
+    assert rules_of(findings) == ["REP-O503"]
+
+
 # -- suppressions, parse errors, baseline -------------------------------------
 
 def test_suppression_with_reason_silences_finding():
