@@ -102,5 +102,46 @@ if __name__ == "__main__":
     main()
 TRACE_SMOKE
 python "$SCRATCH/trace_smoke.py" "$SCRATCH"
+# Result-cache smoke: the same Zipf repeat-mix stream served by a
+# 2-worker pool with the multi-level cache on and off must produce
+# bit-identical payloads, and the cached run must actually hit (repeats
+# answered from cache or coalesced onto an in-flight twin).  Untimed:
+# the >=3x speedup acceptance lives in the committed BENCH_serve curves;
+# this gates correctness of the reuse paths within the smoke budget.
+cat > "$SCRATCH/cache_smoke.py" <<'CACHE_SMOKE'
+from repro.core.soi import SOIEngine
+from repro.datagen import build_preset
+from repro.serve import EngineServer
+from repro.serve.workload import make_zipf_workload
+
+
+def main() -> None:
+    city = build_preset("vienna", scale=0.1)
+    engine = SOIEngine(city.network, city.pois)
+    requests = make_zipf_workload(engine, city.photos, num_queries=24,
+                                  seed=2, pool_size=6)
+    with EngineServer.for_engine(engine, city.photos, workers=2,
+                                 micro_batch=4) as server:
+        baseline = server.run(requests)
+    with EngineServer.for_engine(engine, city.photos, workers=2,
+                                 micro_batch=4, cache=True) as server:
+        cached = server.run(requests)
+        stats = server.cache_stats()
+    if cached != baseline:
+        raise SystemExit("cache smoke: cached payloads diverge from the "
+                         "uncached run")
+    reused = stats["hits"] + stats["coalesced_waiters"]
+    if reused <= 0:
+        raise SystemExit("cache smoke: Zipf repeats never hit the cache "
+                         f"(stats: {stats})")
+    print(f"cache smoke: {len(requests)} requests bit-identical, "
+          f"{stats['hits']} hits + {stats['coalesced_waiters']} coalesced "
+          f"({stats['hit_rate']:.0%} hit rate)")
+
+
+if __name__ == "__main__":
+    main()
+CACHE_SMOKE
+python "$SCRATCH/cache_smoke.py"
 
 echo "ci_smoke: OK"

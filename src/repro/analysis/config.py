@@ -58,6 +58,11 @@ class LintConfig:
     # package-relative files outside those directories.
     geometry_checked_dirs: tuple[str, ...] = ("index",)
     geometry_checked_files: tuple[str, ...] = ("core/state_store.py",)
+    # Where unbounded cache-named containers are a memory hazard
+    # (REP-P406): the serve path holds caches for the lifetime of a
+    # worker process, so any dict/OrderedDict named like a cache needs an
+    # eviction bound (pop/popitem/clear/del or a len() guard).
+    cache_checked_dirs: tuple[str, ...] = ("perf", "serve")
     assume_positive: tuple[str, ...] = ("buffer_area", "buffer_col", "max_d")
     deprecated_names: dict[str, str] = field(
         default_factory=lambda: {"IndexError_": "GridIndexError"})

@@ -253,3 +253,24 @@ def _check_sandwich(lower: float, exact: float, upper: float,
         contract,
         f"cell {coord} bounds [{lower}, {upper}] do not sandwich exact "
         f"value {exact} of photo position {pos}")
+
+
+# -- Prefix stability: dominated-k result reuse ------------------------------
+
+def check_prefix_slice(sliced, fresh, key, k: int) -> None:
+    """A dominated-``k`` cache slice must equal a fresh computation.
+
+    Both k-SOI rankings and greedy describe selections are prefix-stable
+    under their deterministic tie-breaks (k′ ≤ k ⇒ the k′-result is a
+    prefix of the k-result), which is what lets
+    :class:`~repro.perf.result_cache.ResultCache` answer a small-``k``
+    request by slicing a large-``k`` entry.  This contract re-derives the
+    small-``k`` answer from scratch and demands bit-identity — any
+    divergence means the tie-break (or a cached entry) went stale.
+    """
+    if sliced != fresh:
+        raise _violation(
+            "prefix-slice",
+            f"dominated-k slice for key {key!r} at k={k} diverges from a "
+            f"fresh computation: cached prefix {sliced!r} vs fresh "
+            f"{fresh!r}")

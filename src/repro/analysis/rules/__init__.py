@@ -215,6 +215,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         ModuleLevelMutableCacheRule,
         ScalarGeometryInLoopRule,
         SortedInLoopRule,
+        UnboundedCacheRule,
     )
 
     rules: tuple[Rule, ...] = (
@@ -233,6 +234,7 @@ def default_rules(config: LintConfig) -> tuple[Rule, ...]:
         HeapRescanInLoopRule(),
         ScalarGeometryInLoopRule(),
         ModuleLevelMutableCacheRule(),
+        UnboundedCacheRule(),
         DirectTimerRule(),
         HandRolledCounterRule(),
         SpanNameRegistryRule(),

@@ -40,6 +40,17 @@ A further rule guards the multiprocess serving path
 (``serve-checked-dirs``, defaulting to the import closure of
 ``repro.serve.server`` workers):
 
+* **REP-P406** — a *cache-named* container (``cache``/``memo``/``lru``
+  in the name, case-insensitive) bound to an empty mutable at module
+  scope or as an instance attribute (``self.x = {}``) under
+  ``cache-checked-dirs`` with **no eviction bound** in the enclosing
+  scope grows for the lifetime of a serving worker.  Evidence of a
+  bound is a ``.pop()``/``.popitem()``/``.clear()`` call, a ``del``
+  on the container, or a ``len()`` guard in a comparison — the shapes
+  :class:`repro.perf.result_cache.ResultCache` uses.  Provably finite
+  key spaces carry a ``# repro-lint: disable=REP-P406 (reason)``
+  comment.
+
 * **REP-P403** — a module-level *mutable cache* (a name bound at module
   scope to an empty ``dict``/``list``/``set``/``defaultdict``/... , or a
   module-level function decorated with ``functools.lru_cache``/
@@ -53,7 +64,8 @@ A further rule guards the multiprocess serving path
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+import re
+from typing import Callable, Iterator
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import FileContext, Rule
@@ -307,6 +319,118 @@ class ModuleLevelMutableCacheRule(Rule):
                     "with its own diverging copy")
 
 
+_CACHE_NAME = re.compile(r"cache|memo|lru", re.IGNORECASE)
+_EVICTION_METHODS = frozenset({"pop", "popitem", "clear"})
+
+
+def _enclosing_class(ctx: FileContext, node: ast.AST) -> ast.ClassDef | None:
+    parent = ctx.parent(node)
+    while parent is not None and not isinstance(parent, ast.ClassDef):
+        parent = ctx.parent(parent)
+    return parent
+
+
+def _is_len_of(node: ast.expr,
+               matches: Callable[[ast.expr], bool]) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name) and node.func.id == "len"
+            and len(node.args) == 1 and matches(node.args[0]))
+
+
+def _has_eviction_bound(scope: ast.AST,
+                        matches: Callable[[ast.expr], bool]) -> bool:
+    """True when ``scope`` shows any eviction evidence for the container.
+
+    Evidence is a ``.pop()``/``.popitem()``/``.clear()`` call on the
+    container, a ``del`` of the container (or one of its keys), or a
+    ``len()`` of it inside a comparison (a size guard that refuses or
+    trims inserts).  Anything subtler — eviction through a helper the
+    container is passed to, bounds enforced by the key space — needs a
+    suppression comment with the reason.
+    """
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _EVICTION_METHODS \
+                and matches(node.func.value):
+            return True
+        if isinstance(node, ast.Delete) and any(
+                matches(target)
+                or (isinstance(target, ast.Subscript)
+                    and matches(target.value))
+                for target in node.targets):
+            return True
+        if isinstance(node, ast.Compare) and any(
+                _is_len_of(expr, matches)
+                for expr in (node.left, *node.comparators)):
+            return True
+    return False
+
+
+class UnboundedCacheRule(Rule):
+    id = "REP-P406"
+    name = "unbounded-cache"
+    hint = ("give the cache an eviction bound (LRU + byte cap like "
+            "repro.perf.result_cache.ResultCache, pop/popitem/clear on "
+            "overflow, or a len() guard before insert); if the key space "
+            "is provably finite, suppress with a reason")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(ctx.config.cache_checked_dirs):
+            return
+        seen: set[tuple[int, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not _is_empty_mutable(value, ctx):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and isinstance(ctx.parent(node), ast.Module):
+                    name, scope = target.id, ctx.tree
+                    where = f"module-level cache '{name}'"
+
+                    def matches(expr: ast.expr, _name: str = name) -> bool:
+                        return (isinstance(expr, ast.Name)
+                                and expr.id == _name)
+                elif isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    enclosing = _enclosing_class(ctx, node)
+                    if enclosing is None:
+                        continue
+                    name, scope = target.attr, enclosing
+                    where = (f"instance cache 'self.{name}' "
+                             f"on {enclosing.name}")
+
+                    def matches(expr: ast.expr, _name: str = name) -> bool:
+                        return (isinstance(expr, ast.Attribute)
+                                and expr.attr == _name
+                                and isinstance(expr.value, ast.Name)
+                                and expr.value.id == "self")
+                else:
+                    continue
+                if not _CACHE_NAME.search(name):
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                dedupe = (id(scope), name)
+                if dedupe in seen:
+                    continue
+                seen.add(dedupe)
+                if _has_eviction_bound(scope, matches):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"{where} starts empty and nothing in its scope ever "
+                    "evicts — it grows for the lifetime of the serving "
+                    "worker")
+
+
 __all__ = ["HeapRescanInLoopRule", "ListMembershipInLoopRule",
            "ModuleLevelMutableCacheRule", "ScalarGeometryInLoopRule",
-           "SortedInLoopRule"]
+           "SortedInLoopRule", "UnboundedCacheRule"]

@@ -185,6 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="throughput mode: also replay the workload "
                             "in-process and fail unless worker payloads "
                             "are identical")
+    bench.add_argument("--cache", choices=("on", "off"), default="off",
+                       help="throughput mode: enable the server's "
+                            "multi-level result cache (parent cache + "
+                            "singleflight coalescing + per-worker "
+                            "dominated-k reuse); --verify still compares "
+                            "against the uncached in-process path")
+    bench.add_argument("--zipf", type=float, default=None, metavar="S",
+                       help="throughput mode: replay the seeded "
+                            "Zipf-skewed repeat workload with exponent S "
+                            "instead of the all-distinct mixed workload")
+    bench.add_argument("--unique-frac", type=float, default=0.0,
+                       metavar="F",
+                       help="throughput mode, with --zipf: fraction of "
+                            "the workload made of never-repeating "
+                            "one-off requests (1.0 = all-unique, the "
+                            "cache-adversarial case)")
     bench.add_argument("--check-against", type=Path, default=None,
                        metavar="FILE",
                        help="compare the fresh report of the same suite "
@@ -217,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--repeat", type=int, default=3,
                          help="how many times to run the query "
                               "(default 3; exercises session caching)")
+    metrics.add_argument("--cache", action="store_true",
+                         help="serve the repeats through an exact-result "
+                              "cache so the serve.cache.* counters and "
+                              "gauges (hits, dominated-k slices, bytes) "
+                              "appear in the dump")
     metrics.add_argument("--json", action="store_true",
                          help="dump the registry as JSON instead of a "
                               "table (machine-readable)")
@@ -263,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload RNG seed")
     top.add_argument("--batch", type=int, default=1,
                      help="per-worker micro-batch size (default 1)")
+    top.add_argument("--cache", action="store_true",
+                     help="enable the multi-level result cache; frames "
+                          "gain a cache column (hit rate, dominated-k "
+                          "slices, coalesced waiters, bytes)")
     top.add_argument("--interval", type=float, default=0.5,
                      help="seconds between frames (default 0.5)")
     top.add_argument("--frames", type=int, default=None,
@@ -442,7 +467,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             cities, workers=args.workers, concurrency=args.concurrency,
             queries=args.queries, seed=args.seed, scale=args.scale,
             jobs=args.jobs, verify=args.verify, micro_batch=args.batch,
-            trace_out=args.trace_out)
+            trace_out=args.trace_out, cache=(args.cache == "on"),
+            zipf=args.zipf, unique_frac=args.unique_frac)
         path = args.out / bench.SERVE_REPORT
         bench.append_serve_run(run, path)
         produced["serve"] = run
@@ -450,10 +476,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name, entry in run["cities"].items():
             speedups = entry["qps_speedup_vs_1_worker"]
             best = max(speedups.values())
-            print(f"{name}: " + ", ".join(
+            line = (f"{name}: " + ", ".join(
                 f"{rec['workers']}w {rec['qps']:.1f} qps"
                 for rec in entry["records"])
                 + f" (best speedup {best:.2f}x)")
+            stats = entry.get("cache_stats")
+            if stats:
+                line += (f" [cache {stats['hit_rate']:.0%} hit, "
+                         f"{stats['dominated_hits']} sliced, "
+                         f"{stats['coalesced_waiters']} coalesced, "
+                         f"{int(stats['bytes'])} B]")
+            print(line)
     else:
         if args.suite in ("soi", "all"):
             report = bench.bench_soi(
@@ -535,8 +568,21 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     network, pois, _photos = _load_city(args.data)
     engine = SOIEngine(network, pois)
     mark = TRACER.mark() if args.trace else 0
-    for _repeat in range(max(1, args.repeat)):
-        engine.top_k(args.keywords, k=args.k, eps=args.eps)
+    if args.cache:
+        # Serve the repeats through the exact-result cache: repeat 2..N
+        # are cache hits, so the serve.cache.* counters/gauges show up
+        # in the table / JSON / OpenMetrics output below.
+        from repro.perf.result_cache import ResultCache
+        from repro.serve.server import SOIRequest, serve_request_cached
+
+        cache = ResultCache(generation=engine.index_generation)
+        request = SOIRequest(keywords=tuple(args.keywords), k=args.k,
+                             eps=args.eps)
+        for _repeat in range(max(1, args.repeat)):
+            serve_request_cached(engine, None, request, cache)
+    else:
+        for _repeat in range(max(1, args.repeat)):
+            engine.top_k(args.keywords, k=args.k, eps=args.eps)
     dump = REGISTRY.to_dict()
     if args.slowlog_json:
         print(json.dumps({"slow_queries": SLOWLOG.records()},
@@ -575,6 +621,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                            title="counters"))
     if gauge_rows:
         print(format_table(["gauge", "value"], gauge_rows, title="gauges"))
+    cache_hits = sum(dump["counters"].get(f"serve.cache.{name}", 0)
+                     for name in ("exact_hits", "dominated_hits",
+                                  "exhausted_hits"))
+    cache_lookups = cache_hits + dump["counters"].get("serve.cache.misses", 0)
+    if cache_lookups:
+        print(f"result cache: {cache_hits}/{cache_lookups} hits "
+              f"({cache_hits / cache_lookups:.0%}), "
+              f"{dump['counters'].get('serve.cache.dominated_hits', 0)} "
+              f"dominated-k slices, "
+              f"{int(dump['gauges'].get('serve.cache.bytes', 0))} bytes in "
+              f"{int(dump['gauges'].get('serve.cache.entries', 0))} entries")
     histogram_rows = [
         [name, hist["count"], f"{hist['sum']:.6f}",
          f"{hist['sum'] / hist['count']:.6f}" if hist["count"] else "-"]
@@ -613,9 +670,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     requests = make_workload(engine, photos, num_queries=args.queries,
                              seed=args.seed)
     print(f"repro top — {len(requests)} requests, {args.workers} worker(s), "
-          f"micro-batch {args.batch}")
+          f"micro-batch {args.batch}"
+          + (", cache on" if args.cache else ""))
     with EngineServer.for_engine(engine, photos, workers=args.workers,
-                                 micro_batch=args.batch) as server:
+                                 micro_batch=args.batch,
+                                 cache=args.cache) as server:
         failure: list[BaseException] = []
 
         def pump() -> None:
@@ -652,6 +711,13 @@ def _print_top_frame(telemetry: dict, final: bool = False) -> None:
           f"queue {telemetry['queue_depth']} | "
           f"done {telemetry['completed_total']} | "
           f"shm {shm_mib:.1f} MiB")
+    cache = telemetry.get("cache")
+    if cache is not None:
+        print(f"  cache: {cache['hit_rate']:.0%} hit "
+              f"({cache['hits']}/{cache['hits'] + cache['misses']}) | "
+              f"dominated-k {cache['dominated_hits']} | "
+              f"coalesced {cache['coalesced_waiters']} | "
+              f"{cache['bytes'] / 1024:.1f} KiB")
     for worker in telemetry["workers"]:
         last = worker["last_seq"]
         print(f"  worker {worker['worker']}: {worker['status']:<7} "

@@ -11,7 +11,10 @@ the paper's algorithms:
   independent experiment tasks;
 * :mod:`repro.perf.bench` — the ``repro bench`` harness that measures the
   Figure 4 / Figure 6 configurations and writes the ``BENCH_*.json``
-  trajectory files.
+  trajectory files;
+* :mod:`repro.perf.result_cache` — the generation-stamped exact-result
+  :class:`~repro.perf.result_cache.ResultCache` with dominated-``k``
+  reuse, backing the serve path's multi-level caching.
 
 Everything here is an *accelerator*: optimised paths must produce results
 bit-identical to the plain algorithms (enforced by the equivalence
@@ -19,6 +22,8 @@ property tests and the ``REPRO_CHECK=1`` contracts).
 """
 
 from repro.perf.parallel import run_parallel
+from repro.perf.result_cache import ResultCache
 from repro.perf.session import QuerySession, QuerySessionPool
 
-__all__ = ["QuerySession", "QuerySessionPool", "run_parallel"]
+__all__ = ["QuerySession", "QuerySessionPool", "ResultCache",
+           "run_parallel"]

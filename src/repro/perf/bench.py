@@ -70,18 +70,20 @@ DESCRIBE_REPORT = "BENCH_describe.json"
 SERVE_REPORT = "BENCH_serve.json"
 BUILD_REPORT = "BENCH_build.json"
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 """Report layout version.  Bumped whenever a field is renamed/removed so
 :func:`compare_reports` can refuse cross-schema comparisons; version 1 is
 the implicit schema of reports written before the field existed.
 Version 3 adds the per-city ``obs`` section (tracer overhead medians and
 span counts); version 4 adds the serve suite's informational
 ``obs.latency_sketch`` section (merged quantile-sketch stats, never
-regression-gated).  Both are pure additions, so :func:`compare_reports`
-treats 2, 3 and 4 as mutually comparable (see
+regression-gated); version 5 adds the serve suite's
+``cache``/``zipf``/``unique_frac`` workload descriptors and the
+informational ``cache_stats`` section.  All are pure additions, so
+:func:`compare_reports` treats 2 through 5 as mutually comparable (see
 :data:`COMPARABLE_SCHEMAS`)."""
 
-COMPARABLE_SCHEMAS = frozenset({2, 3, 4})
+COMPARABLE_SCHEMAS = frozenset({2, 3, 4, 5})
 """Schema versions whose shared metrics kept their meaning; reports inside
 this set compare against each other, anything else must match exactly."""
 
@@ -536,6 +538,11 @@ def history_record(report: dict) -> dict:
     }
     if suite == "serve":
         record["micro_batch"] = report.get("micro_batch", 1)
+        record["cache"] = report.get("cache", False)
+        if report.get("zipf") is not None:
+            record["zipf"] = report["zipf"]
+        if report.get("unique_frac"):
+            record["unique_frac"] = report["unique_frac"]
         for name, entry in report.get("cities", {}).items():
             record["cities"][name] = {
                 "qps": {str(rec["workers"]): rec["qps"]
@@ -608,6 +615,9 @@ def bench_throughput(
     verify: bool = False,
     micro_batch: int = 1,
     trace_out: Path | None = None,
+    cache: bool = False,
+    zipf: float | None = None,
+    unique_frac: float = 0.0,
 ) -> dict:
     """Replay a seeded mixed workload against 1..``workers`` processes.
 
@@ -632,10 +642,22 @@ def bench_throughput(
     per city at the full pool size and writes the stitched cross-process
     Chrome trace there, one ``serve.request`` parent span per request
     with the worker's spans nested beneath it.
+
+    ``zipf`` switches the workload to the Zipf-skewed repeat mix of
+    :func:`~repro.serve.workload.make_zipf_workload` with that exponent
+    (``unique_frac`` of the requests become cache-adversarial one-offs);
+    ``cache`` turns on the server's multi-level result cache.  With
+    ``verify=True`` the cached payloads are still compared bit-for-bit
+    against the *uncached* in-process replay, which is the cache's
+    exactness contract.  Because the warm pass also warms the result
+    cache, the timed pass measures steady-state serving: even an
+    all-unique stream replays warm, so its ``cache_stats`` legitimately
+    report hits.
     """
     from repro.errors import ReproError
     from repro.serve.server import EngineServer, serve_request
-    from repro.serve.workload import make_workload
+    from repro.serve.workload import DEFAULT_ZIPF_S, make_workload, \
+        make_zipf_workload
 
     run: dict = {
         "suite": "serve",
@@ -646,21 +668,31 @@ def bench_throughput(
         "scale": scale,
         "concurrency": concurrency,
         "micro_batch": micro_batch,
+        "cache": bool(cache),
+        "zipf": zipf,
+        "unique_frac": unique_frac,
         "worker_counts": worker_counts(workers),
         "verified": bool(verify),
         "environment": environment(),
         "cities": {},
     }
     for name, city, engine in _build_cities(cities, scale, jobs):
-        requests = make_workload(engine, city.photos, num_queries=queries,
-                                 seed=seed, eps=eps)
+        if zipf is not None or unique_frac > 0:
+            requests = make_zipf_workload(
+                engine, city.photos, num_queries=queries, seed=seed,
+                s=DEFAULT_ZIPF_S if zipf is None else zipf,
+                unique_frac=unique_frac, eps=eps)
+        else:
+            requests = make_workload(engine, city.photos,
+                                     num_queries=queries, seed=seed, eps=eps)
         inline = ([serve_request(engine, city.photos, request)
                    for request in requests] if verify else None)
         entry: dict = {"num_requests": len(requests), "records": []}
         full_pool = run["worker_counts"][-1]
         for count in run["worker_counts"]:
             with EngineServer.for_engine(engine, city.photos, workers=count,
-                                         micro_batch=micro_batch) as server:
+                                         micro_batch=micro_batch,
+                                         cache=cache) as server:
                 warm0 = time.perf_counter()
                 server.run(requests, window=concurrency)
                 warm_s = time.perf_counter() - warm0
@@ -673,6 +705,8 @@ def bench_throughput(
                     # keys match a _metric_direction pattern, so a
                     # --check-against run never gates on them.
                     entry["obs.latency_sketch"] = server.latency_summary()
+                    if cache:
+                        entry["cache_stats"] = server.cache_stats()
                     if trace_out is not None:
                         trace_dir = Path(trace_out)
                         trace_dir.mkdir(parents=True, exist_ok=True)

@@ -47,11 +47,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro import errors
+from repro.analysis import contracts
 from repro.obs import metrics as obs_metrics
 from repro.obs.export import stitch_serve_requests, write_chrome_trace
 from repro.obs.tracer import (
@@ -75,6 +76,12 @@ from repro.errors import (
     StaleSnapshotError,
     WorkerCrashError,
     WorkerStallError,
+)
+from repro.perf.result_cache import (
+    MISS as _CACHE_MISS,
+    ResultCache,
+    request_cache_key,
+    slice_payload,
 )
 from repro.serve.snapshot import IndexSnapshot
 from repro.serve.views import attach_engine, attach_photo_set
@@ -192,6 +199,50 @@ def _serve_request_impl(
     raise QueryError(f"unsupported request type {type(request).__name__}")
 
 
+def serve_request_cached(
+    engine: SOIEngine,
+    photos: "PhotoSet | None",
+    request: Request,
+    cache: "ResultCache",
+    describers: "OrderedDict | None" = None,
+    session=None,
+    group_k: int | None = None,
+):
+    """:func:`serve_request` through a :class:`ResultCache`.
+
+    The cache is stamped against ``engine.index_generation`` on every call
+    (a bumped generation empties it wholesale), then consulted under the
+    request's canonical key.  On a miss the request executes at
+    ``max(request.k, group_k)`` — ``group_k`` is the largest ``k`` of the
+    request's micro-batch signature group, so a drained batch runs each
+    group once at its ``k_max`` and every smaller-``k`` member is served
+    by slicing (prefix stability makes the slice bit-identical to a
+    direct call; under ``REPRO_CHECK=1`` each sliced hit is re-derived
+    and compared).
+    """
+    cache.ensure_generation(engine.index_generation)
+    key = request_cache_key(request)
+    recompute = None
+    if contracts.ENABLED:
+        def recompute():
+            return serve_request(engine, photos, request, describers,
+                                 session=session)
+    hit = cache.lookup(key, request.k, recompute=recompute)
+    if hit is not _CACHE_MISS:
+        return hit
+    k_exec = max(request.k, group_k or 0)
+    exec_request = (request if k_exec == request.k
+                    else replace(request, k=k_exec))
+    full = serve_request(engine, photos, exec_request, describers,
+                         session=session)
+    cache.store(key, k_exec, full)
+    if k_exec != request.k:
+        cache.registry.inc("serve.cache.kmax_elevations")
+    # Always hand back a copy: the stored list must never be aliased by a
+    # caller that might mutate its payload in place.
+    return slice_payload(full, request.k)
+
+
 class _WorkerView:
     """One worker's attached snapshot plus the views rebuilt over it."""
 
@@ -237,7 +288,7 @@ def _request_kind(request) -> str:
 
 
 def _worker_main(worker_id: int, tasks, results, micro_batch: int = 1,
-                 heartbeats=None, states=None) -> None:
+                 heartbeats=None, states=None, cache: bool = False) -> None:
     """Worker loop: attach on demand, serve until the ``None`` sentinel.
 
     With ``micro_batch > 1`` each loop turn drains up to that many queued
@@ -247,6 +298,14 @@ def _worker_main(worker_id: int, tasks, results, micro_batch: int = 1,
     Results still carry their original sequence numbers — the parent's
     reordering is untouched, and payloads are bit-identical to unbatched
     serving because session caches only memoise exact values.
+
+    With ``cache=True`` the worker keeps a per-process
+    :class:`~repro.perf.result_cache.ResultCache` of exact payloads
+    (emptied whenever the snapshot generation moves): repeats are
+    answered without touching Algorithm 1/2, a smaller-``k`` repeat is
+    answered by slicing, and each micro-batch signature group executes at
+    most once, at the group's largest ``k``.  Prefix stability keeps all
+    of this bit-identical to uncached serving.
 
     ``heartbeats``/``states`` are the parent's shared arrays: the loop
     stamps ``monotonic_now()`` (a system-wide clock, unlike
@@ -262,6 +321,7 @@ def _worker_main(worker_id: int, tasks, results, micro_batch: int = 1,
     start method, which re-imports this module in the child.
     """
     view: _WorkerView | None = None
+    result_cache = ResultCache() if cache else None
     stop = False
 
     def beat(state: int) -> None:
@@ -298,6 +358,16 @@ def _worker_main(worker_id: int, tasks, results, micro_batch: int = 1,
                 obs_metrics.record_serve_batch(
                     len(batch),
                     len({_group_key(item[3]) for item in batch}))
+            # The largest k per cache signature in this drained batch:
+            # the group's first miss executes at k_max and every other
+            # member is served from the stored entry by slicing.
+            group_kmax: dict[tuple, int] = {}
+            if result_cache is not None:
+                for item in batch:
+                    cache_key = request_cache_key(item[3])
+                    k = getattr(item[3], "k", 0)
+                    if k > group_kmax.get(cache_key, 0):
+                        group_kmax[cache_key] = k
             # The resolved session of the current group; keys only compare
             # within one attached view (re-attach resets the group).
             current_key: tuple | None = None
@@ -333,9 +403,17 @@ def _worker_main(worker_id: int, tasks, results, micro_batch: int = 1,
                                     if signature:
                                         session = view.engine.sessions.get(
                                             signature)
-                            payload = serve_request(
-                                view.engine, view.photos, request,
-                                view.describers, session=session)
+                            if result_cache is None:
+                                payload = serve_request(
+                                    view.engine, view.photos, request,
+                                    view.describers, session=session)
+                            else:
+                                payload = serve_request_cached(
+                                    view.engine, view.photos, request,
+                                    result_cache, view.describers,
+                                    session=session,
+                                    group_k=group_kmax.get(
+                                        request_cache_key(request)))
                             status, body = "ok", payload
                         except ReproError as exc:
                             status, body = ("error",
@@ -414,6 +492,7 @@ class EngineServer:
         source: SOIEngine | None = None,
         source_photos: "PhotoSet | None" = None,
         micro_batch: int = 1,
+        cache: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -421,6 +500,21 @@ class EngineServer:
             raise ValueError(
                 f"micro_batch must be at least 1, got {micro_batch}")
         self._micro_batch = micro_batch
+        # Parent-side metrics (result cache, coalescing): merged into
+        # metrics() alongside the worker dumps.
+        self._local_metrics = obs_metrics.MetricsRegistry()
+        self._cache_enabled = bool(cache)
+        self._result_cache = (
+            ResultCache(generation=snapshot.generation,
+                        registry=self._local_metrics)
+            if cache else None)
+        # Singleflight coalescing state: the in-flight primary per
+        # canonical key, its (key, k) by seq, the waiters riding each
+        # primary, and locally-completed results awaiting collection.
+        self._coalesce_primary: dict[tuple, tuple[int, int]] = {}
+        self._primary_info: dict[int, tuple[tuple, int]] = {}
+        self._waiters: dict[int, list[tuple[int, int]]] = {}
+        self._ready: OrderedDict[int, tuple] = OrderedDict()
         self._snapshot = snapshot
         self._source = source
         self._source_photos = source_photos
@@ -458,7 +552,7 @@ class EngineServer:
             self._ctx.Process(
                 target=_worker_main,
                 args=(wid, self._tasks, self._results, micro_batch,
-                      self._heartbeats, self._states),
+                      self._heartbeats, self._states, self._cache_enabled),
                 name=f"repro-serve-{wid}", daemon=True)
             for wid in range(workers)
         ]
@@ -473,15 +567,21 @@ class EngineServer:
         workers: int = 2,
         warm_eps: Sequence[float] = (DEFAULT_EPS,),
         micro_batch: int = 1,
+        cache: bool = False,
     ) -> "EngineServer":
         """Export a snapshot of ``engine`` and spin up ``workers`` processes.
 
         ``micro_batch`` is how many queued requests each worker drains per
         loop turn (cross-request micro-batching; 1 disables it).
+        ``cache`` enables the multi-level result cache: a parent-side
+        exact-result cache with singleflight coalescing of identical
+        in-flight requests, plus a per-worker cache with dominated-k
+        reuse.  Payloads stay bit-identical to uncached serving.
         """
         snapshot = IndexSnapshot.export(engine, photos, warm_eps=warm_eps)
         return cls(snapshot, workers=workers, source=engine,
-                   source_photos=photos, micro_batch=micro_batch)
+                   source_photos=photos, micro_batch=micro_batch,
+                   cache=cache)
 
     # -- introspection ----------------------------------------------------
 
@@ -516,11 +616,41 @@ class EngineServer:
         merged = obs_metrics.MetricsRegistry()
         for wid in sorted(self._worker_metrics):
             merged.merge(self._worker_metrics[wid])
+        merged.merge(self._local_metrics.to_dict())
         return merged
 
     def metrics_dict(self) -> dict:
         """JSON-ready aggregated worker metrics (see :meth:`metrics`)."""
         return self.metrics().to_dict()
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the multi-level result cache is on for this server."""
+        return self._cache_enabled
+
+    def cache_stats(self) -> dict:
+        """Aggregated result-cache / coalescing counters over all levels.
+
+        Counters (parent cache + every worker cache) add up; the byte and
+        entry gauges merge as the largest single level, which is the
+        bound that matters for memory.  ``hit_rate`` is hits over
+        lookups across exact, dominated-k and exhausted hits.
+        """
+        registry = self.metrics()
+        prefix = "serve.cache."
+        out = dict(registry.counters_with_prefix(prefix))
+        for name in ResultCache.COUNTER_NAMES:
+            out.setdefault(name, 0)
+        hits = (out.get("exact_hits", 0) + out.get("dominated_hits", 0)
+                + out.get("exhausted_hits", 0))
+        lookups = hits + out.get("misses", 0)
+        out["hits"] = hits
+        out["hit_rate"] = (hits / lookups) if lookups else 0.0
+        out["coalesced_waiters"] = registry.counter(
+            "serve.coalesce.waiters")
+        out["bytes"] = registry.gauge(prefix + "bytes") or 0.0
+        out["entries"] = registry.gauge(prefix + "entries") or 0.0
+        return out
 
     # -- live telemetry ----------------------------------------------------
 
@@ -627,6 +757,7 @@ class EngineServer:
             "shm_bytes": shm_bytes,
             "snapshot_generation": self._snapshot.generation,
             "micro_batch": self._micro_batch,
+            "cache": self.cache_stats() if self._cache_enabled else None,
             "workers": self.worker_health(stall_after_s=stall_after_s),
             "latency": self.latency_summary(),
         }
@@ -661,6 +792,13 @@ class EngineServer:
         asks its worker to trace the request and ship the spans back; the
         submit timestamp, request kind and batch-group key are remembered
         so the arrival can be stitched into the cross-process trace.
+
+        With the result cache on, a repeat of an already-answered request
+        completes locally without a worker round-trip, and a repeat of an
+        *in-flight* request (same canonical key, ``k`` no larger)
+        coalesces onto the flying one: it is computed once and fanned out
+        to every waiter with its own sequence number.  Traced requests
+        always execute for real — the trace is the point.
         """
         if self._closed:
             raise ReproError("EngineServer is closed")
@@ -680,9 +818,29 @@ class EngineServer:
                 "batch_group": repr(_group_key(request)),
                 "submit_ns": int(perf_now() * 1e9),
             }
+        key = None
+        k = getattr(request, "k", None)
+        if self._result_cache is not None and not trace and k is not None:
+            key = request_cache_key(request)
+            hit = self._result_cache.lookup(key, k)
+            if hit is not _CACHE_MISS:
+                self._ready[seq] = ("ok", hit, 0.0)
+                self._inflight.add(seq)
+                return seq
+            primary = self._coalesce_primary.get(key)
+            if primary is not None and k <= primary[1]:
+                self._waiters.setdefault(primary[0], []).append((seq, k))
+                self._inflight.add(seq)
+                self._local_metrics.inc("serve.coalesce.waiters")
+                return seq
         self._tasks.put((seq, self._snapshot.name,
                          self._snapshot.generation, request, trace))
         self._inflight.add(seq)
+        if key is not None:
+            # This request is now the key's in-flight primary (the
+            # largest-k submission wins, so later small-k repeats ride it).
+            self._coalesce_primary[key] = (seq, k)
+            self._primary_info[seq] = (key, k)
         return seq
 
     def next_result(self, timeout: float | None = None):
@@ -698,6 +856,18 @@ class EngineServer:
         deadline = (None if timeout is None
                     else monotonic_now() + timeout)
         while True:
+            if self._ready:
+                # Locally-completed results (parent cache hits, fanned-out
+                # coalesced waiters) never cross the worker queue.
+                seq, (status, body, service_s) = next(
+                    iter(self._ready.items()))
+                del self._ready[seq]
+                self._inflight.discard(seq)
+                self._completions.append(monotonic_now())
+                self._completed_total += 1
+                if status == "error":
+                    raise _rehydrate_error(*body)
+                return seq, body, service_s
             try:
                 seq, wid, status, body, service_s, metrics_dump, spans = \
                     self._results.get(timeout=_POLL_SECONDS)
@@ -711,6 +881,7 @@ class EngineServer:
             self._inflight.discard(seq)
             if wid >= 0:
                 self._note_arrival(seq, wid, service_s, metrics_dump, spans)
+            self._finish_primary(seq, status, body)
             if status == "error":
                 raise _rehydrate_error(*body)
             return seq, body, service_s
@@ -785,6 +956,10 @@ class EngineServer:
             self._source, self._source_photos, warm_eps=self._warm_eps)
         self._stale_snapshots.append(self._snapshot)
         self._snapshot = fresh
+        if self._result_cache is not None:
+            # Wholesale invalidation on generation change; workers drop
+            # their own caches when they re-attach the new snapshot.
+            self._result_cache.invalidate(fresh.generation)
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop the workers and unlink every shared-memory block.
@@ -824,6 +999,31 @@ class EngineServer:
         self.close()
 
     # -- internals --------------------------------------------------------
+
+    def _finish_primary(self, seq: int, status: str, body) -> None:
+        """Coalescing epilogue for a worker arrival: store the payload in
+        the parent cache and fan it out — sliced to each waiter's own
+        ``k`` — to every request that coalesced onto this one.  Waiters
+        report zero service time (the primary did the work); errors
+        propagate to every waiter verbatim."""
+        info = self._primary_info.pop(seq, None)
+        if info is None:
+            return
+        key, k = info
+        if self._coalesce_primary.get(key) == (seq, k):
+            del self._coalesce_primary[key]
+        if status == "ok" and self._result_cache is not None:
+            self._result_cache.store(key, k, body)
+        waiters = self._waiters.pop(seq, None)
+        if not waiters:
+            return
+        for waiter_seq, waiter_k in waiters:
+            if status == "ok":
+                self._ready[waiter_seq] = (
+                    "ok", slice_payload(body, waiter_k), 0.0)
+            else:
+                self._ready[waiter_seq] = (status, body, 0.0)
+        self._local_metrics.inc("serve.coalesce.fanouts")
 
     def _note_arrival(self, seq: int, wid: int, service_s: float,
                       metrics_dump: dict | None, spans: list | None) -> None:
@@ -901,4 +1101,5 @@ __all__ = [
     "Request",
     "SOIRequest",
     "serve_request",
+    "serve_request_cached",
 ]

@@ -25,7 +25,7 @@ def serve_run(qps: float, p50: float) -> dict:
 
 
 def test_reports_carry_schema_version():
-    assert bench.SCHEMA_VERSION == 4
+    assert bench.SCHEMA_VERSION == 5
     run = serve_run(100.0, 0.01)
     assert run["schema_version"] == bench.SCHEMA_VERSION
 
@@ -77,7 +77,7 @@ def test_compare_rejects_schema_mismatch():
 
 def test_compare_accepts_v2_baseline_against_v3_current():
     """Schemas 3/4 only add obs sections; v2 baselines stay comparable."""
-    assert bench.COMPARABLE_SCHEMAS == frozenset({2, 3, 4})
+    assert bench.COMPARABLE_SCHEMAS == frozenset({2, 3, 4, 5})
     base = {"schema_version": 2,
             "cities": {"vienna": {"soi_median_s": 1.0}}}
     current = {"schema_version": 3,

@@ -1,0 +1,190 @@
+"""Result caching and request coalescing on the serve path.
+
+``serve_request_cached`` is exercised in-process against the uncached
+``serve_request`` reference (bit-identity is the whole contract); the
+multiprocess ``EngineServer`` cache/coalescing tests keep their pools
+small like the rest of the serving suite.  The Zipf repeat-mix workload
+generator is tested here too, since its only consumer is the cached
+throughput bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soi import SOIEngine
+from repro.datagen import build_preset
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.result_cache import ResultCache, request_cache_key
+from repro.serve import EngineServer
+from repro.serve.server import (
+    DescribeRequest,
+    SOIRequest,
+    serve_request,
+    serve_request_cached,
+)
+from repro.serve.workload import make_workload, make_zipf_workload
+
+
+def make_cache(engine, **kwargs) -> ResultCache:
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("generation", engine.index_generation)
+    return ResultCache(**kwargs)
+
+
+# -- in-process cached serving ------------------------------------------------
+
+def test_cached_serving_is_bit_identical_on_mixed_workload(small_city,
+                                                           small_engine):
+    cache = make_cache(small_engine)
+    requests = make_workload(small_engine, small_city.photos,
+                             num_queries=24, seed=3)
+    # Repeat the stream so the second pass hits; identity must hold on
+    # both passes, misses and hits alike.
+    stream = requests + requests
+    for request in stream:
+        cached = serve_request_cached(small_engine, small_city.photos,
+                                      request, cache)
+        assert cached == serve_request(small_engine, small_city.photos,
+                                       request)
+    stats = cache.stats()
+    assert stats["hits"] >= len(requests)
+
+
+def test_dominated_k_slices_match_for_soi(small_city, small_engine):
+    cache = make_cache(small_engine)
+    big = SOIRequest(keywords=("food", "shop"), k=50)
+    serve_request_cached(small_engine, None, big, cache)
+    for k in (1, 5, 25):
+        small = SOIRequest(keywords=("food", "shop"), k=k)
+        cached = serve_request_cached(small_engine, None, small, cache)
+        assert cached == serve_request(small_engine, None, small)
+    assert cache.stats()["dominated_hits"] >= 1
+    assert cache.stats()["insertions"] == 1
+
+
+def test_describe_requests_never_reuse_across_k(small_city, small_engine):
+    """Equation 10's k-dependence: each describe k computes fresh."""
+    cache = make_cache(small_engine)
+    street = small_engine.top_k(["shop"], k=1)[0].street_id
+    for k in (20, 5, 10):
+        request = DescribeRequest(street_id=street, k=k)
+        cached = serve_request_cached(small_engine, small_city.photos,
+                                      request, cache)
+        assert cached == serve_request(small_engine, small_city.photos,
+                                       request)
+    stats = cache.stats()
+    assert stats["dominated_hits"] == 0
+    assert stats["insertions"] == 3  # one entry per k — no cross-k reuse
+
+
+def test_group_k_elevation_precomputes_the_batch_maximum(small_engine):
+    cache = make_cache(small_engine)
+    small = SOIRequest(keywords=("shop",), k=5)
+    # Micro-batch grouping: the first member executes at the group's
+    # k_max, so the later larger-k member is a dominated/exact hit.
+    serve_request_cached(small_engine, None, small, cache, group_k=40)
+    assert cache.registry.counter("serve.cache.kmax_elevations") == 1
+    big = SOIRequest(keywords=("shop",), k=40)
+    cached = serve_request_cached(small_engine, None, big, cache)
+    assert cached == serve_request(small_engine, None, big)
+    assert cache.stats()["misses"] == 1  # only the first request computed
+
+
+def test_cache_invalidated_across_index_generations(small_city):
+    # A private engine: rebuild_indexes mutates generation state, which
+    # must not leak into the session-scoped small_engine fixture.
+    engine = SOIEngine(small_city.network, small_city.pois)
+    cache = make_cache(engine)
+    request = SOIRequest(keywords=("shop",), k=10)
+    before = serve_request_cached(engine, None, request, cache)
+    engine.rebuild_indexes()
+    after = serve_request_cached(engine, None, request, cache)
+    assert after == before  # same data rebuilt: same exact answer...
+    assert cache.stats()["invalidations"] == 1  # ...but computed fresh
+    assert cache.generation == engine.index_generation
+
+
+# -- the multiprocess server --------------------------------------------------
+
+def test_server_cache_is_bit_identical_and_hits_on_repeats():
+    city = build_preset("vienna", scale=0.1)
+    engine = SOIEngine(city.network, city.pois)
+    requests = make_zipf_workload(engine, city.photos, num_queries=24,
+                                  seed=2, pool_size=6)
+    expected = [serve_request(engine, city.photos, request)
+                for request in requests]
+    with EngineServer.for_engine(engine, city.photos, workers=1,
+                                 micro_batch=4, cache=True) as server:
+        assert server.cache_enabled
+        payloads = server.run(requests)
+        stats = server.cache_stats()
+        telemetry = server.telemetry()
+    assert payloads == expected
+    # 24 Zipf draws over 6 distinct requests must repeat: every repeat is
+    # a parent-cache hit, a coalesced waiter, or a worker-cache hit.
+    assert stats["hits"] + stats["coalesced_waiters"] > 0
+    assert stats["hit_rate"] > 0.0
+    assert telemetry["cache"] == stats
+
+
+def test_server_without_cache_reports_none():
+    city = build_preset("vienna", scale=0.1)
+    engine = SOIEngine(city.network, city.pois)
+    with EngineServer.for_engine(engine, workers=1) as server:
+        assert not server.cache_enabled
+        assert server.telemetry()["cache"] is None
+
+
+# -- the Zipf repeat-mix workload ---------------------------------------------
+
+@pytest.fixture(scope="module")
+def zipf_engine():
+    city = build_preset("vienna", scale=0.1)
+    return city, SOIEngine(city.network, city.pois)
+
+
+def test_zipf_workload_is_deterministic(zipf_engine):
+    city, engine = zipf_engine
+    first = make_zipf_workload(engine, city.photos, num_queries=40, seed=7)
+    again = make_zipf_workload(engine, city.photos, num_queries=40, seed=7)
+    other = make_zipf_workload(engine, city.photos, num_queries=40, seed=8)
+    assert first == again
+    assert first != other
+
+
+def test_zipf_workload_repeats_concentrate_on_the_hot_pool(zipf_engine):
+    city, engine = zipf_engine
+    requests = make_zipf_workload(engine, city.photos, num_queries=64,
+                                  seed=1, pool_size=8)
+    distinct = set(requests)
+    assert len(requests) == 64
+    assert len(distinct) <= 8  # every request drawn from the hot pool
+    # Zipf skew: the hottest request dominates the uniform share.
+    top_count = max(requests.count(r) for r in distinct)
+    assert top_count > 64 / 8
+
+
+def test_all_unique_workload_defeats_dominated_k_reuse(zipf_engine):
+    """unique_frac=1.0 is the cache-overhead workload: no request may be
+    servable from any earlier one, even by dominated-k slicing."""
+    city, engine = zipf_engine
+    requests = make_zipf_workload(engine, city.photos, num_queries=48,
+                                  seed=5, unique_frac=1.0)
+    assert len(requests) == 48
+    deepest_k: dict[tuple, int] = {}
+    for request in requests:
+        key = request_cache_key(request)
+        assert request.k > deepest_k.get(key, 0), \
+            "a one-off would be served from an earlier, deeper entry"
+        deepest_k[key] = request.k
+
+
+def test_zipf_workload_validation(zipf_engine):
+    city, engine = zipf_engine
+    with pytest.raises(ValueError):
+        make_zipf_workload(engine, city.photos, num_queries=0)
+    with pytest.raises(ValueError):
+        make_zipf_workload(engine, city.photos, s=0.0)
+    with pytest.raises(ValueError):
+        make_zipf_workload(engine, city.photos, unique_frac=1.5)

@@ -457,7 +457,10 @@ def test_p403_flags_module_level_empty_containers():
            "_BY_CELL = defaultdict(list)\n"
            "_LRU = OrderedDict()\n")
     findings = lint_source(src, relpath="repro/serve/x.py", config=CONFIG)
-    assert rules_of(findings) == ["REP-P403"] * 5
+    assert rules_of(findings).count("REP-P403") == 5
+    # _SL2_CACHE and _LRU are additionally cache-named with no eviction
+    # bound, so the unbounded-cache rule stacks on top.
+    assert rules_of(findings).count("REP-P406") == 2
     assert "_SL2_CACHE" in findings[0].message
 
 
@@ -483,7 +486,9 @@ def test_p403_accepts_constants_locals_and_class_state():
            "    return local_cache\n"
            "class Engine:\n"
            "    def __init__(self):\n"
-           "        self._cache = {}\n")  # instance state: the fix P403 asks for
+           "        self._cache = {}\n"  # instance state: the fix P403 asks for
+           "    def _trim(self):\n"
+           "        self._cache.popitem()\n")  # ...bounded, so P406 is quiet too
     assert lint_source(src, relpath="repro/serve/x.py", config=CONFIG) == []
 
 
@@ -492,6 +497,78 @@ def test_p403_only_in_serve_checked_dirs():
     assert lint_source(src, relpath="repro/eval/x.py", config=CONFIG) == []
     assert rules_of(lint_source(src, relpath="repro/perf/x.py",
                                 config=CONFIG)) == ["REP-P403"]
+
+
+def test_p406_flags_unbounded_cache_named_containers():
+    # Planted bug, both levels: a module-level memo and (alias-aware) an
+    # instance OrderedDict, cache-named, read but never evicted.
+    src = ("from collections import OrderedDict as OD\n"
+           "_RESULT_MEMO = {}\n"
+           "class Server:\n"
+           "    def __init__(self):\n"
+           "        self._lru = OD()\n"
+           "    def get(self, key):\n"
+           "        if key not in self._lru:\n"
+           "            self._lru[key] = compute(key)\n"
+           "        return self._lru[key]\n")
+    findings = lint_source(src, relpath="repro/perf/x.py", config=CONFIG)
+    flagged = [f.message for f in findings if f.rule == "REP-P406"]
+    assert len(flagged) == 2
+    assert any("_RESULT_MEMO" in message for message in flagged)
+    assert any("self._lru" in message and "Server" in message
+               for message in flagged)
+
+
+def test_p406_accepts_caches_with_an_eviction_bound():
+    # Fixed twin: the same shapes, each with one eviction idiom — LRU
+    # popitem, a len() guard refusing inserts, and del on overflow.
+    src = ("class Server:\n"
+           "    def __init__(self):\n"
+           "        self._cache = {}\n"
+           "        self._memo = {}\n"
+           "        self._lru_keys = {}\n"
+           "    def put(self, key, value):\n"
+           "        if len(self._memo) >= 64:\n"
+           "            return\n"
+           "        self._memo[key] = value\n"
+           "    def insert(self, key, value, oldest):\n"
+           "        self._cache[key] = value\n"
+           "        del self._lru_keys[oldest]\n"
+           "    def trim(self):\n"
+           "        self._cache.popitem()\n")
+    assert lint_source(src, relpath="repro/serve/x.py", config=CONFIG) == []
+    # Non-cache-named instance state never triggers the rule.
+    plain = ("class Server:\n"
+             "    def __init__(self):\n"
+             "        self._pending = {}\n")
+    assert lint_source(plain, relpath="repro/serve/x.py", config=CONFIG) == []
+
+
+def test_p406_only_in_cache_checked_dirs():
+    src = ("class Engine:\n"
+           "    def __init__(self):\n"
+           "        self._interest_memo = {}\n")
+    # core/ holds engine-lifetime state invalidated with the engine; only
+    # the serve path's long-lived processes are in cache-checked-dirs.
+    assert lint_source(src, relpath="repro/core/x.py", config=CONFIG) == []
+    assert rules_of(lint_source(src, relpath="repro/serve/x.py",
+                                config=CONFIG)) == ["REP-P406"]
+    assert rules_of(lint_source(src, relpath="repro/perf/x.py",
+                                config=CONFIG)) == ["REP-P406"]
+
+
+def test_p406_suppression_requires_a_reason():
+    suppressed = (
+        "_KIND_CACHE = {}  "
+        "# repro-lint: disable=REP-P403,REP-P406 (keys = 3 request kinds)\n")
+    assert lint_source(suppressed, relpath="repro/serve/x.py",
+                       config=CONFIG) == []
+    bare = ("_KIND_CACHE = {}  "
+            "# repro-lint: disable=REP-P403,REP-P406\n")
+    findings = lint_source(bare, relpath="repro/serve/x.py", config=CONFIG)
+    # Reason-less suppressions are inert and themselves flagged.
+    assert "REP-S001" in rules_of(findings)
+    assert "REP-P406" in rules_of(findings)
 
 
 # -- observability rules ------------------------------------------------------
